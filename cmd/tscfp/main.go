@@ -1,0 +1,144 @@
+// Command tscfp floorplans one of the paper's benchmarks in power-aware or
+// TSC-aware mode and prints a Table-2-style report: leakage metrics (S1, S2,
+// r1, r2) and design cost (power, critical delay, wirelength, peak
+// temperature, TSV and voltage-volume counts, runtime).
+//
+// Usage:
+//
+//	tscfp -bench n100 -mode tsc -runs 3 -iters 3000
+//	tscfp -bench ibm01 -mode pa
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tscfp: ")
+
+	var (
+		benchName = flag.String("bench", "n100", "benchmark name (n100 n200 n300 ibm01 ibm03 ibm07)")
+		mode      = flag.String("mode", "tsc", "floorplanning mode: pa (power-aware) or tsc (TSC-aware)")
+		runs      = flag.Int("runs", 1, "independent floorplanning runs to average")
+		iters     = flag.Int("iters", 3000, "simulated-annealing iterations per run")
+		grid      = flag.Int("grid", 32, "thermal/leakage grid resolution per axis")
+		samples   = flag.Int("samples", 100, "activity samples for correlation stability (Eq. 2)")
+		seed      = flag.Int64("seed", 1, "base random seed (run k uses seed+k)")
+		jsonOut   = flag.String("json", "", "write the last run's full report to this JSON file")
+		maps      = flag.Bool("maps", false, "print ASCII heatmaps of the last run's power/thermal maps")
+		showFP    = flag.Bool("floorplan", false, "print an ASCII rendering of the last run's floorplan")
+		protect   = flag.Bool("protect", false, "post-process only the sensitive modules (Sec. 7.1 adaptation)")
+	)
+	flag.Parse()
+
+	spec, err := bench.ByName(*benchName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	des, err := bench.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var m core.Mode
+	switch *mode {
+	case "pa":
+		m = core.PowerAware
+	case "tsc":
+		m = core.TSCAware
+	default:
+		log.Fatalf("unknown mode %q (want pa or tsc)", *mode)
+	}
+
+	fmt.Printf("benchmark %s: %d modules (%d hard / %d soft), %d nets, %d terminals, %.2f mm^2/die, %.2f W @1.0V\n",
+		des.Name, len(des.Modules), des.HardCount(), des.SoftCount(),
+		len(des.Nets), len(des.Terminals), des.OutlineW*des.OutlineH/1e6, des.TotalPower())
+	fmt.Printf("mode %s, %d run(s), %d SA iterations, %dx%d grid\n\n", m, *runs, *iters, *grid, *grid)
+
+	var protectList []int
+	if *protect {
+		for mi, mod := range des.Modules {
+			if mod.Sensitive {
+				protectList = append(protectList, mi)
+			}
+		}
+		fmt.Printf("protecting %d sensitive modules\n", len(protectList))
+	}
+
+	var agg core.Metrics
+	var last *core.Result
+	for k := 0; k < *runs; k++ {
+		res, err := core.Run(des, core.Config{
+			Mode:            m,
+			GridN:           *grid,
+			SAIterations:    *iters,
+			ActivitySamples: *samples,
+			Seed:            *seed + int64(k),
+			ProtectModules:  protectList,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		last = res
+		mm := res.Metrics
+		fmt.Printf("run %d: S1=%.3f S2=%.3f r1=%.3f r2=%.3f power=%.3fW delay=%.3fns wl=%.3fm peak=%.2fK sTSV=%d dTSV=%d vol=%d legal=%v %.1fs\n",
+			k, mm.S1, mm.S2, mm.R1, mm.R2, mm.PowerW, mm.CriticalNS, mm.WirelengthM,
+			mm.PeakTempK, mm.SignalTSVs, mm.DummyTSVs, mm.VoltageVolumes, res.Layout.Legal(), mm.RuntimeSec)
+		agg.S1 += mm.S1
+		agg.S2 += mm.S2
+		agg.R1 += mm.R1
+		agg.R2 += mm.R2
+		agg.PowerW += mm.PowerW
+		agg.CriticalNS += mm.CriticalNS
+		agg.WirelengthM += mm.WirelengthM
+		agg.PeakTempK += mm.PeakTempK
+		agg.SignalTSVs += mm.SignalTSVs
+		agg.DummyTSVs += mm.DummyTSVs
+		agg.VoltageVolumes += mm.VoltageVolumes
+		agg.RuntimeSec += mm.RuntimeSec
+	}
+	n := float64(*runs)
+	fmt.Printf("\naverages over %d run(s) (%s, %s):\n", *runs, des.Name, m)
+	w := func(label string, v float64) { fmt.Fprintf(os.Stdout, "  %-24s %10.3f\n", label, v) }
+	w("spatial entropy S1", agg.S1/n)
+	w("spatial entropy S2", agg.S2/n)
+	w("correlation r1", agg.R1/n)
+	w("correlation r2", agg.R2/n)
+	w("overall power [W]", agg.PowerW/n)
+	w("critical delay [ns]", agg.CriticalNS/n)
+	w("wirelength [m]", agg.WirelengthM/n)
+	w("peak temp [K]", agg.PeakTempK/n)
+	w("signal TSVs", float64(agg.SignalTSVs)/n)
+	w("dummy thermal TSVs", float64(agg.DummyTSVs)/n)
+	w("voltage volumes", float64(agg.VoltageVolumes)/n)
+	w("runtime [s]", agg.RuntimeSec/n)
+
+	if *showFP && last != nil {
+		fmt.Println()
+		for d := 0; d < last.Layout.Dies; d++ {
+			fmt.Print(report.RenderFloorplan(last.Layout, d, 64))
+		}
+	}
+	if *maps && last != nil {
+		for d := 0; d < last.Layout.Dies; d++ {
+			fmt.Printf("\ndie %d power map (TSVs overlaid):\n%s", d,
+				report.HeatmapWithTSVs(last.PowerMaps[d], last.TSVs))
+			fmt.Printf("\ndie %d thermal map:\n%s", d, report.Heatmap(last.TempMaps[d]))
+		}
+	}
+	if *jsonOut != "" && last != nil {
+		rep := report.FromResult(last, m.String())
+		if err := rep.WriteJSON(*jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nreport written to %s\n", *jsonOut)
+	}
+}

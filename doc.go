@@ -1,0 +1,17 @@
+// Package repro reproduces "On Mitigation of Side-Channel Attacks in 3D
+// ICs: Decorrelating Thermal Patterns from Power and Activity" (Knechtel &
+// Sinanoglu, DAC 2017) as a self-contained Go library.
+//
+// The implementation lives under internal/: the TSC-aware floorplanning
+// flow (internal/core) on top of a corner-sequence floorplanner
+// (internal/floorplan, internal/anneal), a HotSpot-class thermal solver
+// (internal/thermal), leakage metrics (internal/leakage), Elmore/STA timing
+// (internal/timing), voltage volumes (internal/volt), TSV planning
+// (internal/tsv), activity modelling (internal/activity), the Sec. 5
+// attacks (internal/attack), and Table 1 benchmark synthesis
+// (internal/bench).
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,61 @@
+// countermeasures compares the paper's design-time mitigation against the
+// prior art it critiques (Gu et al.'s runtime thermal-noise injection):
+// for the same benchmark, how much does each approach decorrelate the
+// bottom die, and what does it cost in power and peak temperature?
+//
+// The paper's argument (Sec. 1): injection "causes further power
+// dissipation, which may be prohibitive for thermal- and power-constrained
+// 3D ICs in the first place", and "the best leakage-mitigation rates are
+// only achievable for the highest injection rates".
+//
+// Run with:
+//
+//	go run ./examples/countermeasures
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/noiseinject"
+)
+
+func main() {
+	log.SetFlags(0)
+	design := bench.MustGenerate("n100")
+
+	pa, err := core.Run(design, core.Config{
+		Mode: core.PowerAware, SAIterations: 1500, ActivitySamples: 40, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tsc, err := core.Run(design, core.Config{
+		Mode: core.TSCAware, SAIterations: 1500, ActivitySamples: 40, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-30s %8s %10s %10s\n", "countermeasure", "|r1|", "power[W]", "peak[K]")
+	fmt.Printf("%-30s %8.3f %10.3f %10.2f\n", "none (power-aware baseline)",
+		math.Abs(pa.Metrics.R1), pa.Metrics.PowerW, pa.Metrics.PeakTempK)
+
+	ctl := noiseinject.Controller{}
+	for _, alpha := range []float64{0.1, 0.25, 0.5, 1.0} {
+		r := ctl.Smooth(pa, alpha)
+		fmt.Printf("noise injection alpha=%-8.2f %8.3f %10.3f %10.2f\n",
+			alpha, math.Abs(r.R[0]), pa.Metrics.PowerW+r.InjectedW, r.PeakTempK)
+	}
+
+	fmt.Printf("%-30s %8.3f %10.3f %10.2f\n", "TSC-aware floorplan (ours)",
+		math.Abs(tsc.Metrics.R1), tsc.Metrics.PowerW, tsc.Metrics.PeakTempK)
+
+	fmt.Println("\nreading: the floorplan-level mitigation reaches injection-class")
+	fmt.Println("decorrelation at a fraction of the power and without the thermal cost,")
+	fmt.Println("because it exploits structure (TSVs, power management) instead of")
+	fmt.Println("spending energy on dummy activity.")
+}

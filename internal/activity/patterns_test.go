@@ -1,0 +1,75 @@
+package activity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPatternRelativeSpreadOrdering: the five scenarios are ordered by how
+// sharp their gradients are; the coefficient of variation must respect the
+// paper's naming.
+func TestPatternRelativeSpreadOrdering(t *testing.T) {
+	cv := func(p PowerPattern) float64 {
+		// Average over seeds to stabilize.
+		s := 0.0
+		for seed := int64(0); seed < 5; seed++ {
+			g := GeneratePowerMap(p, 32, 32, 10, rand.New(rand.NewSource(100+seed)))
+			s += g.StdDev() / g.Mean()
+		}
+		return s / 5
+	}
+	uniform := cv(GloballyUniform)
+	small := cv(SmallGradients)
+	medium := cv(MediumGradients)
+	large := cv(LargeGradients)
+	if uniform != 0 {
+		t.Fatalf("globally uniform must have zero spread, got %v", uniform)
+	}
+	if !(small < medium && medium < large) {
+		t.Fatalf("spread ordering violated: small %v medium %v large %v", small, medium, large)
+	}
+}
+
+func TestLocallyUniformRegimesAreDiscrete(t *testing.T) {
+	g := GeneratePowerMap(LocallyUniform, 32, 32, 10, rand.New(rand.NewSource(7)))
+	// At most 4 distinct values (the regime set), up to normalization.
+	distinct := map[float64]bool{}
+	for _, v := range g.Data {
+		distinct[math.Round(v*1e12)/1e12] = true
+	}
+	if len(distinct) > 4 {
+		t.Fatalf("locally uniform map has %d regimes, want <= 4", len(distinct))
+	}
+}
+
+func TestGeneratePowerMapDifferentSeedsDiffer(t *testing.T) {
+	a := GeneratePowerMap(LargeGradients, 16, 16, 5, rand.New(rand.NewSource(1)))
+	b := GeneratePowerMap(LargeGradients, 16, 16, 5, rand.New(rand.NewSource(2)))
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different blob layouts")
+	}
+}
+
+func TestSamplerZeroSigmaIsNominal(t *testing.T) {
+	s := NewSamplerFromPowers([]float64{1, 2, 3}, 0)
+	p := s.Sample(rand.New(rand.NewSource(3)))
+	for i, want := range []float64{1, 2, 3} {
+		if p[i] != want {
+			t.Fatalf("zero sigma must reproduce nominal: %v", p)
+		}
+	}
+}
+
+func TestAllPowerPatternsCount(t *testing.T) {
+	if len(AllPowerPatterns()) != int(NumPowerPatterns) {
+		t.Fatal("pattern list out of sync")
+	}
+}

@@ -1,0 +1,148 @@
+// Package anneal provides the simulated-annealing search engine driving the
+// floorplanner, mirroring Corblivar's adaptive SA: the start temperature is
+// calibrated from the cost deltas of a random walk, cooling is geometric
+// with fixed-length chains per temperature, and the best-seen solution is
+// snapshotted through a caller-provided hook (the engine itself is agnostic
+// of the state representation).
+package anneal
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Problem is the state the annealer optimizes. Cost must reflect the current
+// state; Perturb must mutate the state and return an undo closure that
+// restores it exactly.
+type Problem interface {
+	Cost() float64
+	Perturb(rng *rand.Rand) (undo func())
+}
+
+// Options tunes the schedule.
+type Options struct {
+	// Iterations is the total number of proposed moves. Default 5000.
+	Iterations int
+	// ChainLength is the number of moves per temperature step. Default
+	// Iterations/50 (at least 1).
+	ChainLength int
+	// InitAcceptProb calibrates the start temperature so that an average
+	// uphill move is accepted with this probability. Default 0.8.
+	InitAcceptProb float64
+	// Alpha is the geometric cooling factor per chain. 0 derives it so the
+	// final temperature is 1e-4 of the start temperature.
+	Alpha float64
+	// CalibrationMoves is the random-walk length used to estimate the cost
+	// scale. Default 50.
+	CalibrationMoves int
+	// OnBest, when non-nil, is invoked whenever a new best cost is seen;
+	// the callee should snapshot the state.
+	OnBest func(cost float64)
+}
+
+func (o *Options) defaults() {
+	if o.Iterations == 0 {
+		o.Iterations = 5000
+	}
+	if o.ChainLength == 0 {
+		o.ChainLength = o.Iterations / 50
+		if o.ChainLength < 1 {
+			o.ChainLength = 1
+		}
+	}
+	if o.InitAcceptProb == 0 {
+		o.InitAcceptProb = 0.8
+	}
+	if o.CalibrationMoves == 0 {
+		o.CalibrationMoves = 50
+	}
+	if o.Alpha == 0 {
+		chains := float64(o.Iterations) / float64(o.ChainLength)
+		if chains < 1 {
+			chains = 1
+		}
+		// T_end/T_start = 1e-4 after `chains` multiplications.
+		o.Alpha = math.Pow(1e-4, 1/chains)
+	}
+}
+
+// Result reports the search outcome.
+type Result struct {
+	Iterations int
+	Accepted   int
+	Uphill     int
+	BestCost   float64
+	FinalCost  float64
+	StartTemp  float64
+	FinalTemp  float64
+}
+
+// Run anneals the problem. The caller's OnBest hook is responsible for
+// snapshotting best states; after Run returns, the problem is in its final
+// (not necessarily best) state.
+func Run(p Problem, opts Options, rng *rand.Rand) Result {
+	opts.defaults()
+
+	// Calibrate the temperature from |ΔC| along a random walk.
+	cur := p.Cost()
+	meanDelta := 0.0
+	walked := 0
+	for i := 0; i < opts.CalibrationMoves; i++ {
+		undo := mustPerturb(p, rng)
+		c := p.Cost()
+		meanDelta += math.Abs(c - cur)
+		walked++
+		undo()
+	}
+	if walked > 0 {
+		meanDelta /= float64(walked)
+	}
+	if meanDelta <= 0 {
+		meanDelta = math.Abs(cur)*0.01 + 1e-12
+	}
+	temp := -meanDelta / math.Log(opts.InitAcceptProb)
+
+	res := Result{StartTemp: temp, BestCost: cur}
+	if opts.OnBest != nil {
+		opts.OnBest(cur)
+	}
+	for it := 0; it < opts.Iterations; it++ {
+		undo := mustPerturb(p, rng)
+		c := p.Cost()
+		delta := c - cur
+		accept := delta <= 0
+		if !accept {
+			if rng.Float64() < math.Exp(-delta/temp) {
+				accept = true
+				res.Uphill++
+			}
+		}
+		if accept {
+			cur = c
+			res.Accepted++
+			if c < res.BestCost {
+				res.BestCost = c
+				if opts.OnBest != nil {
+					opts.OnBest(c)
+				}
+			}
+		} else {
+			undo()
+		}
+		if (it+1)%opts.ChainLength == 0 {
+			temp *= opts.Alpha
+		}
+		res.Iterations++
+	}
+	res.FinalCost = cur
+	res.FinalTemp = temp
+	return res
+}
+
+func mustPerturb(p Problem, rng *rand.Rand) func() {
+	undo := p.Perturb(rng)
+	if undo == nil {
+		panic("anneal: Perturb returned nil undo")
+	}
+	return undo
+}

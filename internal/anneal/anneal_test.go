@@ -1,0 +1,121 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quadratic is a toy problem: minimize sum (x_i - target)^2 with +-step moves.
+type quadratic struct {
+	x      []float64
+	target float64
+	step   float64
+}
+
+func (q *quadratic) Cost() float64 {
+	c := 0.0
+	for _, v := range q.x {
+		d := v - q.target
+		c += d * d
+	}
+	return c
+}
+
+func (q *quadratic) Perturb(rng *rand.Rand) func() {
+	i := rng.Intn(len(q.x))
+	old := q.x[i]
+	q.x[i] += (rng.Float64()*2 - 1) * q.step
+	return func() { q.x[i] = old }
+}
+
+func TestAnnealFindsMinimum(t *testing.T) {
+	q := &quadratic{x: make([]float64, 8), target: 3, step: 0.5}
+	rng := rand.New(rand.NewSource(1))
+	res := Run(q, Options{Iterations: 20000}, rng)
+	if res.BestCost > 0.5 {
+		t.Fatalf("best cost %v; annealer failed to approach minimum", res.BestCost)
+	}
+	if res.FinalCost < res.BestCost {
+		t.Fatal("final cost cannot beat best cost")
+	}
+}
+
+func TestOnBestMonotonic(t *testing.T) {
+	q := &quadratic{x: make([]float64, 4), target: 2, step: 0.5}
+	rng := rand.New(rand.NewSource(2))
+	last := math.Inf(1)
+	Run(q, Options{Iterations: 5000, OnBest: func(c float64) {
+		if c > last {
+			t.Fatalf("OnBest called with worse cost: %v after %v", c, last)
+		}
+		last = c
+	}}, rng)
+	if math.IsInf(last, 1) {
+		t.Fatal("OnBest never called")
+	}
+}
+
+func TestAcceptsCountedAndBounded(t *testing.T) {
+	q := &quadratic{x: make([]float64, 4), target: 1, step: 0.3}
+	rng := rand.New(rand.NewSource(3))
+	res := Run(q, Options{Iterations: 1000}, rng)
+	if res.Iterations != 1000 {
+		t.Fatalf("iterations %d", res.Iterations)
+	}
+	if res.Accepted < 1 || res.Accepted > 1000 {
+		t.Fatalf("accepted %d out of range", res.Accepted)
+	}
+	if res.Uphill > res.Accepted {
+		t.Fatal("uphill accepts exceed total accepts")
+	}
+}
+
+func TestTemperatureCools(t *testing.T) {
+	q := &quadratic{x: make([]float64, 4), target: 1, step: 0.3}
+	rng := rand.New(rand.NewSource(4))
+	res := Run(q, Options{Iterations: 2000}, rng)
+	if res.FinalTemp >= res.StartTemp {
+		t.Fatalf("temperature must cool: %v -> %v", res.StartTemp, res.FinalTemp)
+	}
+	if res.StartTemp <= 0 {
+		t.Fatal("start temperature must be positive")
+	}
+}
+
+func TestUphillMovesHappenEarly(t *testing.T) {
+	q := &quadratic{x: make([]float64, 8), target: 0, step: 1}
+	rng := rand.New(rand.NewSource(5))
+	res := Run(q, Options{Iterations: 5000}, rng)
+	if res.Uphill == 0 {
+		t.Fatal("annealing should accept some uphill moves at high temperature")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	run := func() Result {
+		q := &quadratic{x: make([]float64, 4), target: 2, step: 0.5}
+		return Run(q, Options{Iterations: 3000}, rand.New(rand.NewSource(6)))
+	}
+	a, b := run(), run()
+	if a.BestCost != b.BestCost || a.Accepted != b.Accepted {
+		t.Fatal("same seed must reproduce the run")
+	}
+}
+
+func TestZeroDeltaCalibrationSafe(t *testing.T) {
+	// A flat cost surface must not produce NaN temperatures.
+	q := &flat{}
+	rng := rand.New(rand.NewSource(7))
+	res := Run(q, Options{Iterations: 100}, rng)
+	if math.IsNaN(res.StartTemp) || res.StartTemp <= 0 {
+		t.Fatalf("bad start temp %v", res.StartTemp)
+	}
+}
+
+type flat struct{}
+
+func (f *flat) Cost() float64 { return 1 }
+func (f *flat) Perturb(rng *rand.Rand) func() {
+	return func() {}
+}

@@ -1,0 +1,69 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	o.defaults()
+	if o.Iterations != 5000 || o.ChainLength != 100 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	if o.InitAcceptProb != 0.8 || o.CalibrationMoves != 50 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	// Alpha chosen so T decays to 1e-4 over all chains.
+	chains := float64(o.Iterations) / float64(o.ChainLength)
+	if math.Abs(math.Pow(o.Alpha, chains)-1e-4) > 1e-9 {
+		t.Fatalf("alpha %v does not hit the target decay", o.Alpha)
+	}
+}
+
+func TestOptionsChainLengthFloor(t *testing.T) {
+	o := Options{Iterations: 10}
+	o.defaults()
+	if o.ChainLength < 1 {
+		t.Fatal("chain length must be at least 1")
+	}
+}
+
+func TestExplicitAlphaRespected(t *testing.T) {
+	o := Options{Alpha: 0.5}
+	o.defaults()
+	if o.Alpha != 0.5 {
+		t.Fatal("explicit alpha overridden")
+	}
+}
+
+// TestColdAnnealIsGreedy: with a tiny InitAcceptProb the search degenerates
+// toward hill climbing — uphill accepts should be rarer than at the default.
+func TestColdAnnealIsGreedy(t *testing.T) {
+	mk := func(p float64) int {
+		q := &quadratic{x: make([]float64, 8), target: 0, step: 1}
+		res := Run(q, Options{Iterations: 4000, InitAcceptProb: p},
+			rand.New(rand.NewSource(12)))
+		return res.Uphill
+	}
+	hot := mk(0.95)
+	cold := mk(0.01)
+	if cold >= hot {
+		t.Fatalf("cold start should accept fewer uphill moves: %d vs %d", cold, hot)
+	}
+}
+
+// TestBestSnapshotUsable: OnBest must fire at the moment the state holds
+// the best cost, so a clone taken there reproduces BestCost.
+func TestBestSnapshotUsable(t *testing.T) {
+	q := &quadratic{x: make([]float64, 6), target: 1, step: 0.5}
+	var bestX []float64
+	res := Run(q, Options{Iterations: 8000, OnBest: func(c float64) {
+		bestX = append(bestX[:0], q.x...)
+	}}, rand.New(rand.NewSource(13)))
+	snap := &quadratic{x: bestX, target: 1, step: 0.5}
+	if math.Abs(snap.Cost()-res.BestCost) > 1e-12 {
+		t.Fatalf("snapshot cost %v != best %v", snap.Cost(), res.BestCost)
+	}
+}

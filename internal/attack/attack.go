@@ -1,0 +1,187 @@
+// Package attack implements the thermal side-channel attacks of the paper's
+// Sec. 5 against floorplanned 3D ICs, under the paper's strong attacker
+// model: repeatable inputs, steady-state readings, and unlimited access to
+// the on-chip thermal sensors.
+//
+//   - Thermal characterization (attack 1): the attacker sweeps activity
+//     patterns, builds a linear thermal model of the device, and is scored
+//     by the model's predictive power on held-out patterns.
+//   - Localization (attack 2): the attacker toggles one module's activity
+//     and estimates its position from the differential thermal map; scored
+//     by hit rate and localization error.
+//   - Monitoring (attack 2, continued): once localized, the attacker reads
+//     the module's activity over time from the local sensor; scored by the
+//     correlation between estimated and true activity.
+//
+// The mitigation claim under test: TSC-aware floorplans yield lower scores
+// than power-aware floorplans on the same benchmark.
+package attack
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/thermal"
+)
+
+// Sensors models the on-chip thermal sensor grid available to the attacker:
+// an N x N lattice per die with additive Gaussian readout noise. The paper
+// grants the attacker high-accuracy, continuous readings; NoiseK = 0
+// reproduces that bound, small positive values model realistic sensors.
+type Sensors struct {
+	N      int     // sensors per axis per die
+	NoiseK float64 // readout noise sigma in Kelvin
+}
+
+// DefaultSensors returns an 8x8 lattice with 0.05 K noise.
+func DefaultSensors() Sensors { return Sensors{N: 8, NoiseK: 0.05} }
+
+// Read samples the die temperature map at the sensor lattice and adds
+// readout noise.
+func (s Sensors) Read(die *geom.Grid, rng *rand.Rand) *geom.Grid {
+	out := geom.NewGrid(s.N, s.N)
+	for j := 0; j < s.N; j++ {
+		for i := 0; i < s.N; i++ {
+			// Sensor (i,j) sits at the center of its lattice cell.
+			x := int((float64(i) + 0.5) / float64(s.N) * float64(die.NX))
+			y := int((float64(j) + 0.5) / float64(s.N) * float64(die.NY))
+			v := die.At(clampI(x, 0, die.NX-1), clampI(y, 0, die.NY-1))
+			if s.NoiseK > 0 {
+				v += rng.NormFloat64() * s.NoiseK
+			}
+			out.Set(i, j, v)
+		}
+	}
+	return out
+}
+
+// Interpolate bilinearly upsamples a sensor readout to nx x ny — the
+// paper's interpolation step (high-resolution estimates from sparse
+// sensors, after Beneventi et al.).
+func (s Sensors) Interpolate(readout *geom.Grid, nx, ny int) *geom.Grid {
+	out := geom.NewGrid(nx, ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			// Position in sensor-lattice coordinates.
+			fx := (float64(i)+0.5)/float64(nx)*float64(s.N) - 0.5
+			fy := (float64(j)+0.5)/float64(ny)*float64(s.N) - 0.5
+			x0 := clampI(int(math.Floor(fx)), 0, s.N-1)
+			y0 := clampI(int(math.Floor(fy)), 0, s.N-1)
+			x1 := clampI(x0+1, 0, s.N-1)
+			y1 := clampI(y0+1, 0, s.N-1)
+			tx := clampF(fx-float64(x0), 0, 1)
+			ty := clampF(fy-float64(y0), 0, 1)
+			v := (1-tx)*(1-ty)*readout.At(x0, y0) +
+				tx*(1-ty)*readout.At(x1, y0) +
+				(1-tx)*ty*readout.At(x0, y1) +
+				tx*ty*readout.At(x1, y1)
+			out.Set(i, j, v)
+		}
+	}
+	return out
+}
+
+// Device is the attacker's interface to a floorplanned 3D IC: apply an
+// activity pattern (per-module multipliers on the nominal, voltage-scaled
+// power), await the thermal steady state (the paper's second attacker
+// assumption), and read the sensors.
+type Device struct {
+	res     *core.Result
+	sensors Sensors
+	rng     *rand.Rand
+	warm    *thermal.Solution
+	powers  []float64 // nominal voltage-scaled module powers
+	gridN   int
+	// Solves counts steady-state evaluations (attacker effort).
+	Solves int
+}
+
+// NewDevice wraps a floorplanning result for attack experiments.
+func NewDevice(res *core.Result, sensors Sensors, seed int64) *Device {
+	powers := make([]float64, len(res.Design.Modules))
+	for m, mod := range res.Design.Modules {
+		powers[m] = mod.Power * res.Assignment.PowerScale[m]
+	}
+	return &Device{
+		res:     res,
+		sensors: sensors,
+		rng:     rand.New(rand.NewSource(seed)),
+		powers:  powers,
+		gridN:   res.PowerMaps[0].NX,
+	}
+}
+
+// GridN returns the lateral resolution of the device's thermal model.
+func (d *Device) GridN() int { return d.gridN }
+
+// Dies returns the die count.
+func (d *Device) Dies() int { return d.res.Layout.Dies }
+
+// Respond applies the activity pattern, solves to steady state, and returns
+// the attacker's interpolated temperature estimate per die.
+func (d *Device) Respond(activity []float64) []*geom.Grid {
+	l := d.res.Layout
+	p := make([]float64, len(d.powers))
+	for m := range p {
+		p[m] = d.powers[m] * activity[m]
+	}
+	for die := 0; die < l.Dies; die++ {
+		d.res.Stack.SetDiePower(die, l.PowerMap(die, d.gridN, d.gridN, p))
+	}
+	sol, _ := d.res.Stack.SolveSteady(d.warm, thermal.SolverOpts{Tol: 1e-4})
+	d.warm = sol
+	d.Solves++
+	out := make([]*geom.Grid, l.Dies)
+	for die := 0; die < l.Dies; die++ {
+		readout := d.sensors.Read(sol.DieTemp(die), d.rng)
+		out[die] = d.sensors.Interpolate(readout, d.gridN, d.gridN)
+	}
+	return out
+}
+
+// Reset restores the nominal power maps (activity 1.0 everywhere).
+func (d *Device) Reset() {
+	l := d.res.Layout
+	for die := 0; die < l.Dies; die++ {
+		d.res.Stack.SetDiePower(die, d.res.PowerMaps[die])
+	}
+}
+
+// ModuleDie returns the die holding module mi.
+func (d *Device) ModuleDie(mi int) int { return d.res.Layout.DieOf[mi] }
+
+// ModuleCenter returns module mi's placed center.
+func (d *Device) ModuleCenter(mi int) geom.Point {
+	return d.res.Layout.Rects[mi].Center()
+}
+
+// ones returns an all-1.0 activity vector.
+func (d *Device) ones() []float64 {
+	a := make([]float64, len(d.powers))
+	for i := range a {
+		a[i] = 1
+	}
+	return a
+}
+
+func clampI(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

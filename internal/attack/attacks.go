@@ -1,0 +1,274 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// LocalizationResult reports one localization attempt (Sec. 5, attack 2).
+type LocalizationResult struct {
+	Module   int
+	TrueDie  int
+	TruePos  geom.Point
+	EstDie   int
+	EstPos   geom.Point
+	ErrorUM  float64 // Euclidean distance on the estimated die
+	Hit      bool    // estimate falls inside the module's footprint
+	DieMatch bool
+}
+
+// LocalizeOptions tunes the attack.
+type LocalizeOptions struct {
+	// HighActivity and LowActivity are the toggled module's multipliers.
+	// The paper's attacker crafts inputs that trigger the module hard or
+	// leave it idle; defaults 3.0 / 0.0.
+	HighActivity float64
+	LowActivity  float64
+	// TopFraction of the differential map's hottest bins form the centroid
+	// estimate. Default 0.02.
+	TopFraction float64
+}
+
+func (o *LocalizeOptions) defaults() {
+	if o.HighActivity == 0 {
+		o.HighActivity = 3.0
+	}
+	if o.TopFraction == 0 {
+		o.TopFraction = 0.02
+	}
+}
+
+// Localize runs the localization attack against module mi: toggle its
+// activity between high and low, difference the thermal estimates, and take
+// the centroid of the strongest response as the position estimate. The die
+// with the strongest response is the die estimate.
+func Localize(d *Device, mi int, opts LocalizeOptions) LocalizationResult {
+	opts.defaults()
+	actHigh := d.ones()
+	actHigh[mi] = opts.HighActivity
+	actLow := d.ones()
+	actLow[mi] = opts.LowActivity
+	high := d.Respond(actHigh)
+	low := d.Respond(actLow)
+
+	res := LocalizationResult{
+		Module:  mi,
+		TrueDie: d.ModuleDie(mi),
+		TruePos: d.ModuleCenter(mi),
+	}
+	// Differential maps; the strongest total excess picks the die.
+	bestDie, bestScore := 0, math.Inf(-1)
+	diffs := make([]*geom.Grid, d.Dies())
+	for die := 0; die < d.Dies(); die++ {
+		diff := high[die].Clone()
+		diff.SubGrid(low[die])
+		diffs[die] = diff
+		if s := diff.Max(); s > bestScore {
+			bestScore, bestDie = s, die
+		}
+	}
+	res.EstDie = bestDie
+	res.DieMatch = bestDie == res.TrueDie
+
+	// Centroid of the top-q bins on the estimated die.
+	diff := diffs[bestDie]
+	n := diff.Len()
+	k := int(float64(n) * opts.TopFraction)
+	if k < 1 {
+		k = 1
+	}
+	thr := diff.Quantile(1 - opts.TopFraction)
+	outline := geom.Rect{W: d.res.Layout.OutlineW, H: d.res.Layout.OutlineH}
+	var wx, wy, wsum float64
+	for j := 0; j < diff.NY; j++ {
+		for i := 0; i < diff.NX; i++ {
+			v := diff.At(i, j)
+			if v < thr {
+				continue
+			}
+			c := diff.CellCenter(outline, i, j)
+			w := v - thr
+			if w <= 0 {
+				w = 1e-12
+			}
+			wx += w * c.X
+			wy += w * c.Y
+			wsum += w
+		}
+	}
+	if wsum > 0 {
+		res.EstPos = geom.Point{X: wx / wsum, Y: wy / wsum}
+	}
+	res.ErrorUM = res.EstPos.Euclid(res.TruePos)
+	res.Hit = res.DieMatch && d.res.Layout.Rects[mi].Contains(res.EstPos)
+	return res
+}
+
+// LocalizationStudy attacks every module in targets and aggregates.
+type LocalizationStudy struct {
+	Results   []LocalizationResult
+	HitRate   float64
+	DieRate   float64
+	MeanError float64 // um
+}
+
+// LocalizeAll runs Localize on each target module.
+func LocalizeAll(d *Device, targets []int, opts LocalizeOptions) LocalizationStudy {
+	st := LocalizationStudy{}
+	for _, mi := range targets {
+		r := Localize(d, mi, opts)
+		st.Results = append(st.Results, r)
+		if r.Hit {
+			st.HitRate++
+		}
+		if r.DieMatch {
+			st.DieRate++
+		}
+		st.MeanError += r.ErrorUM
+	}
+	if len(st.Results) > 0 {
+		n := float64(len(st.Results))
+		st.HitRate /= n
+		st.DieRate /= n
+		st.MeanError /= n
+	}
+	return st
+}
+
+// CharacterizationResult reports the model-building attack (Sec. 5,
+// attack 1).
+type CharacterizationResult struct {
+	Targets      []int
+	Probes       int // steady-state evaluations spent building the model
+	TestPatterns int
+	// R2 is the coefficient of determination of the attacker's linear
+	// thermal model on held-out activity patterns, averaged over dies.
+	// 1 = the device is perfectly characterizable; lower is safer.
+	R2 float64
+}
+
+// Characterize builds the attacker's thermal model by signature probing —
+// the paper's attacker applies "specifically crafted, repetitive input
+// patterns" per component: each target module is toggled high/low in
+// isolation and the differential response becomes its thermal signature.
+// The model T = T_nominal + sum_m sig_m * (act_m - 1) is then scored by R^2
+// on kTest random activity patterns over the same targets. Sensor noise,
+// interpolation error, and (de)correlated thermal structure determine how
+// predictive the model can get.
+func Characterize(d *Device, targets []int, kTest int, rng *rand.Rand) CharacterizationResult {
+	dies := d.Dies()
+	bins := d.gridN * d.gridN
+	const hi, lo = 2.0, 0.5
+
+	// Nominal baseline.
+	base := d.Respond(d.ones())
+
+	// Signatures per target: (T_hi - T_lo) / (hi - lo).
+	sig := make(map[int][]*geom.Grid, len(targets))
+	for _, mi := range targets {
+		actHi := d.ones()
+		actHi[mi] = hi
+		actLo := d.ones()
+		actLo[mi] = lo
+		thi := d.Respond(actHi)
+		tlo := d.Respond(actLo)
+		s := make([]*geom.Grid, dies)
+		for die := 0; die < dies; die++ {
+			g := thi[die].Clone()
+			g.SubGrid(tlo[die])
+			g.ScaleBy(1 / (hi - lo))
+			s[die] = g
+		}
+		sig[mi] = s
+	}
+
+	// Test on fresh random patterns over the target set.
+	var ssRes, ssTot float64
+	for k := 0; k < kTest; k++ {
+		act := d.ones()
+		for _, mi := range targets {
+			act[mi] = lo + (hi-lo)*rng.Float64()
+		}
+		obs := d.Respond(act)
+		for die := 0; die < dies; die++ {
+			for b := 0; b < bins; b++ {
+				pred := base[die].Data[b]
+				for _, mi := range targets {
+					pred += sig[mi][die].Data[b] * (act[mi] - 1)
+				}
+				o := obs[die].Data[b]
+				ssRes += (o - pred) * (o - pred)
+				ssTot += (o - base[die].Data[b]) * (o - base[die].Data[b])
+			}
+		}
+	}
+	r2 := 0.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	if r2 < 0 {
+		r2 = 0
+	}
+	return CharacterizationResult{
+		Targets:      append([]int(nil), targets...),
+		Probes:       1 + 2*len(targets),
+		TestPatterns: kTest,
+		R2:           r2,
+	}
+}
+
+// MonitorResult reports the runtime-monitoring attack: how well the local
+// sensor reading tracks the target module's secret activity.
+type MonitorResult struct {
+	Module      int
+	Correlation float64 // |corr(sensor estimate, true activity)| over time
+}
+
+// Monitor observes module mi over `steps` random activity steps (all
+// modules vary; the attacker watches the bin nearest the module it
+// localized) and correlates the readings with the module's true activity.
+func Monitor(d *Device, mi int, estPos geom.Point, steps int, rng *rand.Rand) MonitorResult {
+	die := d.ModuleDie(mi)
+	outline := geom.Rect{W: d.res.Layout.OutlineW, H: d.res.Layout.OutlineH}
+	nMod := len(d.powers)
+	truth := make([]float64, steps)
+	reads := make([]float64, steps)
+	for s := 0; s < steps; s++ {
+		act := make([]float64, nMod)
+		for m := range act {
+			act[m] = 0.5 + rng.Float64()
+		}
+		t := d.Respond(act)
+		i, j := t[die].CellAt(outline, estPos)
+		truth[s] = act[mi]
+		reads[s] = t[die].At(i, j)
+	}
+	return MonitorResult{Module: mi, Correlation: math.Abs(pearson(truth, reads))}
+}
+
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	if n == 0 {
+		return 0
+	}
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var num, da, db float64
+	for i := range a {
+		x, y := a[i]-ma, b[i]-mb
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	if da <= 0 || db <= 0 {
+		return 0
+	}
+	return num / math.Sqrt(da*db)
+}

@@ -1,0 +1,103 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// pickTxRx returns the hottest module as transmitter and a same-die
+// neighbour as receiver.
+func pickTxRx(t *testing.T) (int, int) {
+	t.Helper()
+	res := paResult(t)
+	tx, bp := 0, 0.0
+	for m, mod := range res.Design.Modules {
+		if mod.Power > bp {
+			tx, bp = m, mod.Power
+		}
+	}
+	// Receiver: nearest module on the same die.
+	rx, best := -1, math.Inf(1)
+	for m := range res.Design.Modules {
+		if m == tx || res.Layout.DieOf[m] != res.Layout.DieOf[tx] {
+			continue
+		}
+		d := res.Layout.Rects[m].Center().Euclid(res.Layout.Rects[tx].Center())
+		if d < best {
+			rx, best = m, d
+		}
+	}
+	if rx < 0 {
+		t.Fatal("no receiver found")
+	}
+	return tx, rx
+}
+
+func TestCovertChannelSlowBitsDecode(t *testing.T) {
+	res := paResult(t)
+	tx, rx := pickTxRx(t)
+	r := CovertChannel(res, tx, rx, CovertOptions{
+		BitPeriodS: 0.2, Bits: 16, HighActivity: 6, SensorNoiseK: 0.001,
+	}, rand.New(rand.NewSource(1)))
+	if r.BER > 0.3 {
+		t.Fatalf("slow covert channel should decode: BER %v", r.BER)
+	}
+	if r.ThroughputBPS <= 0 {
+		t.Fatalf("throughput %v", r.ThroughputBPS)
+	}
+}
+
+func TestCovertChannelFasterIsWorse(t *testing.T) {
+	res := paResult(t)
+	tx, rx := pickTxRx(t)
+	slow := CovertChannel(res, tx, rx, CovertOptions{
+		BitPeriodS: 0.2, Bits: 16, HighActivity: 6, SensorNoiseK: 0.001,
+	}, rand.New(rand.NewSource(2)))
+	fast := CovertChannel(res, tx, rx, CovertOptions{
+		BitPeriodS: 0.002, Bits: 16, HighActivity: 6, SensorNoiseK: 0.001,
+	}, rand.New(rand.NewSource(2)))
+	// The thermal low-pass must hurt the fast channel more (Figure 1's
+	// bandwidth limit). Allow equality: both can be error-free at tiny
+	// noise, but fast must not be better.
+	if fast.BER < slow.BER {
+		t.Fatalf("faster channel cannot have lower BER: fast %v slow %v", fast.BER, slow.BER)
+	}
+}
+
+func TestCovertResultAccounting(t *testing.T) {
+	res := paResult(t)
+	tx, rx := pickTxRx(t)
+	r := CovertChannel(res, tx, rx, CovertOptions{BitPeriodS: 0.05, Bits: 8}, rand.New(rand.NewSource(3)))
+	if r.Bits != 8 || r.Transmitter != tx || r.Receiver != rx {
+		t.Fatalf("accounting: %+v", r)
+	}
+	if r.BER < 0 || r.BER > 1 {
+		t.Fatalf("BER %v", r.BER)
+	}
+	if float64(r.Errors)/float64(r.Bits) != r.BER {
+		t.Fatal("BER inconsistent with errors")
+	}
+}
+
+func TestBinaryEntropy(t *testing.T) {
+	if binaryEntropy(0) != 0 || binaryEntropy(1) != 0 {
+		t.Fatal("H2 at endpoints")
+	}
+	if math.Abs(binaryEntropy(0.5)-1) > 1e-12 {
+		t.Fatal("H2(0.5) must be 1")
+	}
+	if binaryEntropy(0.1) >= binaryEntropy(0.3) {
+		t.Fatal("H2 must increase toward 0.5")
+	}
+}
+
+func TestInsertionSort(t *testing.T) {
+	v := []float64{3, 1, 2, 0.5}
+	insertionSort(v)
+	for i := 1; i < len(v); i++ {
+		if v[i] < v[i-1] {
+			t.Fatal("not sorted")
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestInterpolateBoundedByReadout: bilinear interpolation never over- or
+// undershoots the sensor extremes.
+func TestInterpolateBoundedByReadout(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := Sensors{N: 6}
+	for trial := 0; trial < 50; trial++ {
+		r := geom.NewGrid(6, 6)
+		for i := range r.Data {
+			r.Data[i] = 290 + rng.Float64()*30
+		}
+		up := s.Interpolate(r, 24, 24)
+		lo, hi := r.Min(), r.Max()
+		if up.Min() < lo-1e-9 || up.Max() > hi+1e-9 {
+			t.Fatalf("interpolation out of bounds: [%v,%v] vs [%v,%v]",
+				up.Min(), up.Max(), lo, hi)
+		}
+	}
+}
+
+// TestInterpolateAgreesAtSensorSites: upsampling to the sensor resolution
+// reproduces the readout.
+func TestInterpolateAgreesAtSensorSites(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := Sensors{N: 5}
+	r := geom.NewGrid(5, 5)
+	for i := range r.Data {
+		r.Data[i] = rng.Float64()
+	}
+	same := s.Interpolate(r, 5, 5)
+	for i := range r.Data {
+		if math.Abs(r.Data[i]-same.Data[i]) > 1e-9 {
+			t.Fatalf("identity upsample differs at %d: %v vs %v", i, r.Data[i], same.Data[i])
+		}
+	}
+}
+
+// TestReadIsDeterministicAtZeroNoise and seeded with noise.
+func TestReadDeterminism(t *testing.T) {
+	die := geom.NewGrid(16, 16)
+	for i := range die.Data {
+		die.Data[i] = float64(i)
+	}
+	s := Sensors{N: 4, NoiseK: 0.5}
+	a := s.Read(die, rand.New(rand.NewSource(7)))
+	b := s.Read(die, rand.New(rand.NewSource(7)))
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("seeded reads must reproduce")
+		}
+	}
+}
+
+// TestDenserSensorsLowerInterpolationError: with more sensors, the
+// attacker's reconstruction of a smooth field improves — the paper's
+// premise that rich sensor access strengthens the TSC.
+func TestDenserSensorsLowerInterpolationError(t *testing.T) {
+	// Smooth ground-truth field.
+	truth := geom.NewGrid(32, 32)
+	for j := 0; j < 32; j++ {
+		for i := 0; i < 32; i++ {
+			truth.Set(i, j, 300+5*math.Sin(float64(i)/6)+4*math.Cos(float64(j)/5))
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	errAt := func(n int) float64 {
+		s := Sensors{N: n, NoiseK: 0}
+		readout := s.Read(truth, rng)
+		est := s.Interpolate(readout, 32, 32)
+		sum := 0.0
+		for i := range est.Data {
+			d := est.Data[i] - truth.Data[i]
+			sum += d * d
+		}
+		return math.Sqrt(sum / float64(len(est.Data)))
+	}
+	coarse := errAt(4)
+	fine := errAt(16)
+	if fine >= coarse {
+		t.Fatalf("denser sensors must reduce error: %v vs %v", fine, coarse)
+	}
+}
+
+// TestLocalizationErrorGrowsWithNoise: the defender's margin scales with
+// sensor noise (Sec. 2.1's noise limitation).
+func TestLocalizationErrorGrowsWithNoise(t *testing.T) {
+	res := paResult(t)
+	best, bp := 0, 0.0
+	for m, mod := range res.Design.Modules {
+		if mod.Power > bp {
+			best, bp = m, mod.Power
+		}
+	}
+	errAt := func(noise float64) float64 {
+		d := NewDevice(res, Sensors{N: 8, NoiseK: noise}, 5)
+		total := 0.0
+		const reps = 3
+		for k := 0; k < reps; k++ {
+			r := Localize(d, best, LocalizeOptions{})
+			total += r.ErrorUM
+		}
+		d.Reset()
+		return total / reps
+	}
+	clean := errAt(0)
+	noisy := errAt(2.0)
+	if noisy < clean {
+		t.Fatalf("heavy sensor noise should not improve localization: %v vs %v", noisy, clean)
+	}
+}

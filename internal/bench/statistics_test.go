@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+// TestNetDegreeDistribution: the synthesized netlists follow block-level
+// benchmark practice — dominated by 2- and 3-pin nets with a thin
+// high-degree tail.
+func TestNetDegreeDistribution(t *testing.T) {
+	d := MustGenerate("ibm03")
+	hist := d.DegreeHistogram()
+	total := len(d.Nets)
+	twoThree := float64(hist[2]+hist[3]) / float64(total)
+	if twoThree < 0.7 {
+		t.Fatalf("2/3-pin nets only %.2f of nets; want the large majority", twoThree)
+	}
+	maxDeg := 0
+	for deg := range hist {
+		if deg > maxDeg {
+			maxDeg = deg
+		}
+	}
+	if maxDeg < 6 {
+		t.Fatalf("expected a high-degree tail, max degree %d", maxDeg)
+	}
+	if maxDeg > 16 {
+		t.Fatalf("degree tail implausibly fat: %d", maxDeg)
+	}
+}
+
+// TestNetLocality: nets preferentially connect nearby modules in index
+// space (the hierarchy proxy), so the mean index span of a net must be far
+// below the uniform-random expectation.
+func TestNetLocality(t *testing.T) {
+	d := MustGenerate("n300")
+	n := len(d.Modules)
+	meanSpan := 0.0
+	for _, net := range d.Nets {
+		lo, hi := n, 0
+		for _, m := range net.Modules {
+			if m < lo {
+				lo = m
+			}
+			if m > hi {
+				hi = m
+			}
+		}
+		span := hi - lo
+		// Circular locality window: spans near n wrap; fold them.
+		if span > n/2 {
+			span = n - span
+		}
+		meanSpan += float64(span)
+	}
+	meanSpan /= float64(len(d.Nets))
+	// Uniform random pairs on a circle of n modules average ~n/4.
+	if meanSpan > float64(n)/5 {
+		t.Fatalf("mean net span %v too large; locality missing (n=%d)", meanSpan, n)
+	}
+}
+
+// TestAreaDistributionHeavyTailed: block areas span at least an order of
+// magnitude (lognormal sizes), like the real GSRC/IBM suites.
+func TestAreaDistributionHeavyTailed(t *testing.T) {
+	d := MustGenerate("ibm01")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, m := range d.Modules {
+		a := m.Area()
+		if a < lo {
+			lo = a
+		}
+		if a > hi {
+			hi = a
+		}
+	}
+	if hi/lo < 10 {
+		t.Fatalf("area spread %v too uniform", hi/lo)
+	}
+}
+
+// TestTerminalsOnAllFourSides: I/O pads wrap the whole outline.
+func TestTerminalsOnAllFourSides(t *testing.T) {
+	d := MustGenerate("n200")
+	var bottom, right, top, left int
+	for _, term := range d.Terminals {
+		switch {
+		case term.Y == 0:
+			bottom++
+		case term.X == d.OutlineW:
+			right++
+		case term.Y == d.OutlineH:
+			top++
+		case term.X == 0:
+			left++
+		}
+	}
+	if bottom == 0 || right == 0 || top == 0 || left == 0 {
+		t.Fatalf("terminals missing from a side: %d %d %d %d", bottom, right, top, left)
+	}
+}
+
+// TestPowerBudgetSplitAcrossModules: no single module dominates the budget
+// (the generator bounds density noise), yet the hottest module is clearly
+// above the mean — there must be attack-worthy targets.
+func TestPowerBudgetSplitAcrossModules(t *testing.T) {
+	d := MustGenerate("n100")
+	mean := d.TotalPower() / float64(len(d.Modules))
+	maxP := 0.0
+	for _, m := range d.Modules {
+		if m.Power > maxP {
+			maxP = m.Power
+		}
+	}
+	if maxP > 0.5*d.TotalPower() {
+		t.Fatalf("one module carries %.0f%% of the budget", 100*maxP/d.TotalPower())
+	}
+	if maxP < 2*mean {
+		t.Fatalf("hottest module (%v) too close to the mean (%v); no targets", maxP, mean)
+	}
+}

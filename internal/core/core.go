@@ -1,0 +1,255 @@
+// Package core implements the paper's primary contribution: thermal
+// side-channel-aware 3D floorplanning (Fig. 3). It orchestrates the
+// substrates — floorplan representation and annealing, fast and detailed
+// thermal analysis, timing, voltage assignment, TSV planning, leakage
+// metrics, activity sampling — into the two experimental setups of Sec. 7:
+//
+//   - power-aware floorplanning (PA): packing, wirelength, critical delay,
+//     peak temperature, and voltage assignment optimized together (the
+//     competitive baseline);
+//   - TSC-aware floorplanning (TSC): the same criteria plus minimization of
+//     the power/thermal correlation (Eq. 1) and the spatial entropy of the
+//     power maps (Eq. 3), a TSC-oriented voltage-assignment objective, and
+//     the correlation-stability-guided dummy-TSV post-processing of
+//     Sec. 6.2.
+package core
+
+import (
+	"time"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/thermal"
+	"repro/internal/timing"
+	"repro/internal/tsv"
+	"repro/internal/volt"
+)
+
+// Mode selects the experimental setup.
+type Mode int
+
+const (
+	// PowerAware is the paper's baseline setup (i).
+	PowerAware Mode = iota
+	// TSCAware is the paper's proposed setup (ii).
+	TSCAware
+)
+
+func (m Mode) String() string {
+	if m == TSCAware {
+		return "TSC-aware"
+	}
+	return "power-aware"
+}
+
+// PostCriterion selects the correlation watched by the dummy-TSV stop rule.
+type PostCriterion int
+
+const (
+	// BottomDie accepts insertions while |r_1| drops (default; the bottom
+	// die is the protectable one).
+	BottomDie PostCriterion = iota
+	// AllDies accepts insertions while the mean |r_d| over dies drops.
+	AllDies
+)
+
+// Weights are the multi-objective cost weights. The paper weights all
+// criteria equally (Sec. 7); each term is normalized to its initial value
+// before weighting, so 1.0 everywhere reproduces that setup.
+type Weights struct {
+	OutlineViolation float64
+	Wirelength       float64
+	CriticalDelay    float64
+	PeakTemp         float64
+	Power            float64
+	VoltageVolumes   float64
+	Correlation      float64 // TSC-aware only
+	SpatialEntropy   float64 // TSC-aware only
+	// DesignRule is Corblivar's thermal design rule (Sec. 7.2): the
+	// fraction of power placed away from the heatsink-side die is
+	// penalized, pushing high-power modules toward the top die. The paper
+	// notes that relaxing this rule "prohibitively increases the peak
+	// temperatures" — BenchmarkAblationDesignRule reproduces that.
+	DesignRule float64
+}
+
+// DefaultWeights returns equal weighting, with the leakage terms enabled
+// only in TSC mode. Outline violation carries a high weight because it is a
+// legality constraint, not a quality trade-off.
+func DefaultWeights(mode Mode) Weights {
+	w := Weights{
+		OutlineViolation: 8,
+		Wirelength:       1,
+		CriticalDelay:    1,
+		PeakTemp:         1,
+		Power:            1,
+		VoltageVolumes:   0.25,
+		DesignRule:       0.5,
+	}
+	if mode == TSCAware {
+		// The leakage terms carry extra weight: the classical criteria
+		// already pull toward compact, hot-spot-concentrated layouts, and
+		// an equally-weighted correlation term cannot overcome that pull at
+		// our (much smaller than the paper's) annealing budgets.
+		w.Correlation = 3
+		w.SpatialEntropy = 1.5
+	}
+	return w
+}
+
+// Config tunes one floorplanning run.
+type Config struct {
+	Mode Mode
+	// GridN is the lateral resolution of the thermal and leakage grids.
+	// Default 32.
+	GridN int
+	// SAIterations is the annealing budget. Default 3000.
+	SAIterations int
+	// VoltEvery re-runs voltage assignment every k-th accepted evaluation
+	// (the paper integrates it continuously; the stride keeps runtime at
+	// the reported ~30% overhead). Default 10.
+	VoltEvery int
+	// ActivitySamples is m of Eq. 2; the paper uses 100. Default 100.
+	ActivitySamples int
+	// ActivitySigma is the relative power sigma; the paper uses 0.10.
+	ActivitySigma float64
+	// PostProcess enables the dummy-TSV insertion stage (TSC mode).
+	// Nil defaults to true in TSC mode, false in PA mode.
+	PostProcess *bool
+	// MaxDummyGroups bounds post-processing insertions. Default 64.
+	MaxDummyGroups int
+	// DummyViasPerGroup is the island size of each inserted dummy group.
+	// Default 8.
+	DummyViasPerGroup int
+	// PostCriterion selects which correlation the dummy-TSV stop rule
+	// watches. The paper tracks "the resulting average correlation" and
+	// separately suggests focusing on critical regions; the bottom die is
+	// the one the flow can actually protect (Sec. 7.2 explains why the top
+	// die is structurally compromised by the heatsink design rule), so
+	// BottomDie is the default.
+	PostCriterion PostCriterion
+	// ProtectModules, when non-empty, switches the post-processing stage
+	// to the paper's Sec. 7.1 adaptation: dummy TSVs target only the bins
+	// covered by these (security-critical) modules, the stop rule watches
+	// the correlation over those bins, and "more stable correlations
+	// elsewhere" are accepted. Module indices into Design.Modules.
+	ProtectModules []int
+	// Weights override; zero value selects DefaultWeights(Mode).
+	Weights *Weights
+	// Seed drives all stochastic stages.
+	Seed int64
+	// TimingParams override; zero value selects timing.DefaultParams().
+	TimingParams *timing.Params
+	// VoltTargetFactor relaxes the timing target for voltage assignment.
+	// Default 1.15.
+	VoltTargetFactor float64
+}
+
+func (c *Config) defaults() {
+	if c.GridN == 0 {
+		c.GridN = 32
+	}
+	if c.SAIterations == 0 {
+		c.SAIterations = 3000
+	}
+	if c.VoltEvery == 0 {
+		c.VoltEvery = 10
+	}
+	if c.ActivitySamples == 0 {
+		c.ActivitySamples = 100
+	}
+	if c.ActivitySigma == 0 {
+		c.ActivitySigma = 0.10
+	}
+	if c.PostProcess == nil {
+		pp := c.Mode == TSCAware
+		c.PostProcess = &pp
+	}
+	if c.MaxDummyGroups == 0 {
+		c.MaxDummyGroups = 64
+	}
+	if c.DummyViasPerGroup == 0 {
+		c.DummyViasPerGroup = 8
+	}
+	if c.Weights == nil {
+		w := DefaultWeights(c.Mode)
+		c.Weights = &w
+	}
+	if c.TimingParams == nil {
+		tp := timing.DefaultParams()
+		c.TimingParams = &tp
+	}
+	if c.VoltTargetFactor == 0 {
+		c.VoltTargetFactor = 1.15
+	}
+}
+
+// DieMetrics bundles the per-die leakage measurements.
+type DieMetrics struct {
+	// R is the power-temperature correlation (Eq. 1, detailed analysis).
+	R float64
+	// S is the spatial entropy of the power map (Eq. 3).
+	S float64
+	// SVF is the side-channel vulnerability factor over the activity
+	// samples (0 when post-processing is disabled).
+	SVF float64
+	// MeanStability is the mean absolute per-bin stability (Eq. 2).
+	MeanStability float64
+}
+
+// Metrics mirrors one column pair of the paper's Table 2.
+type Metrics struct {
+	// PerDie holds the leakage metrics for every die, bottom (0) to top.
+	PerDie []DieMetrics
+
+	// Leakage metrics for the bottom and top die (Eq. 1 and Eq. 3),
+	// verified with the detailed thermal analysis — aliases of
+	// PerDie[0] and PerDie[len-1] kept for the two-die Table 2 shape.
+	S1, S2 float64 // spatial entropies, bottom/top die
+	R1, R2 float64 // correlation coefficients, bottom/top die
+
+	// Design cost.
+	PowerW         float64
+	CriticalNS     float64
+	WirelengthM    float64
+	PeakTempK      float64
+	SignalTSVs     int
+	DummyTSVs      int
+	VoltageVolumes int
+	RuntimeSec     float64
+
+	// PostCorrelationBefore/After record the dummy-TSV stage's effect on
+	// the watched correlation (Fig. 4: 0.461 -> 0.324 on n100; with
+	// ProtectModules set, the masked correlation over the protected bins).
+	PostCorrelationBefore float64
+	PostCorrelationAfter  float64
+
+	// SVF1, SVF2 are the side-channel vulnerability factors per die
+	// (Demme et al., the metric the paper grounds Eq. 1 in), measured over
+	// the post-processing activity samples. Zero when post-processing is
+	// disabled.
+	SVF1, SVF2 float64
+	// MeanStability1, MeanStability2 are the mean absolute per-bin
+	// correlation stabilities (Eq. 2) per die over the same samples.
+	MeanStability1, MeanStability2 float64
+}
+
+// Result is a completed floorplanning run.
+type Result struct {
+	Design     *netlist.Design
+	Layout     *floorplan.Layout
+	TSVs       *tsv.Plan
+	Assignment *volt.Assignment
+	Metrics    Metrics
+
+	// PowerMaps and TempMaps are the final nominal per-die maps (detailed
+	// analysis, voltage-scaled powers, all TSVs applied).
+	PowerMaps []*geom.Grid
+	TempMaps  []*geom.Grid
+
+	// Stack is the solved detailed thermal model (reusable by attacks).
+	Stack *thermal.Stack
+
+	started time.Time
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/leakage"
+	"repro/internal/thermal"
+	"repro/internal/timing"
+	"repro/internal/volt"
+)
+
+// evaluator adapts a floorplan to the anneal.Problem interface, computing
+// the multi-objective cost of Sec. 7 with the fast thermal analysis in the
+// loop (Fig. 3).
+type evaluator struct {
+	fp   *floorplan.Floorplan
+	cfg  *Config
+	fast *thermal.FastEstimator
+
+	// Voltage assignment is refreshed every VoltEvery evaluations; the
+	// scales apply in between (module identity is stable across moves).
+	evals       int
+	powerScale  []float64
+	delayScale  []float64
+	nVolumes    int
+	scaledPower float64
+
+	// Normalization baselines (set on first evaluation).
+	norm *normTerms
+}
+
+type normTerms struct {
+	viol, wl, delay, peak, power, volumes, corr, entropy, rule float64
+}
+
+func nz(v float64) float64 {
+	if v <= 1e-12 {
+		return 1
+	}
+	return v
+}
+
+// Cost evaluates the current floorplan.
+func (e *evaluator) Cost() float64 {
+	l := e.fp.Pack()
+	terms := e.terms(l)
+	if e.norm == nil {
+		n := *terms
+		n.viol = nz(l.OutlineW * l.OutlineH * 0.05) // 5% of a die as the violation scale
+		n.wl = nz(terms.wl)
+		n.delay = nz(terms.delay)
+		n.peak = nz(terms.peak)
+		n.power = nz(terms.power)
+		n.volumes = nz(terms.volumes)
+		n.corr = nz(terms.corr)
+		n.entropy = nz(terms.entropy)
+		n.rule = 1 // already a fraction in [0,1]
+		e.norm = &n
+	}
+	w := e.cfg.Weights
+	cost := w.OutlineViolation*terms.viol/e.norm.viol +
+		w.Wirelength*terms.wl/e.norm.wl +
+		w.CriticalDelay*terms.delay/e.norm.delay +
+		w.PeakTemp*terms.peak/e.norm.peak +
+		w.Power*terms.power/e.norm.power +
+		w.VoltageVolumes*terms.volumes/e.norm.volumes +
+		w.DesignRule*terms.rule/e.norm.rule
+	if e.cfg.Mode == TSCAware {
+		cost += w.Correlation*terms.corr/e.norm.corr +
+			w.SpatialEntropy*terms.entropy/e.norm.entropy
+	}
+	return cost
+}
+
+// terms computes the raw cost terms for a packed layout.
+func (e *evaluator) terms(l *floorplan.Layout) *normTerms {
+	t := &normTerms{}
+	t.viol = l.OutlineViolation()
+	t.wl = l.HPWL(e.cfg.TimingParams.VertLen)
+
+	// Voltage assignment: refresh periodically, reuse scales in between.
+	if e.powerScale == nil || e.evals%e.cfg.VoltEvery == 0 {
+		ref := timing.Analyze(l, nil, *e.cfg.TimingParams)
+		asg := volt.Assign(l, ref, e.voltConfig())
+		e.powerScale = asg.PowerScale
+		e.delayScale = asg.DelayScale
+		e.nVolumes = len(asg.Volumes)
+		e.scaledPower = asg.TotalPower
+	} else {
+		e.scaledPower = 0
+		for m, mod := range l.Design.Modules {
+			e.scaledPower += mod.Power * e.powerScale[m]
+		}
+	}
+	e.evals++
+	sta := timing.Analyze(l, e.delayScale, *e.cfg.TimingParams)
+	t.delay = sta.Critical
+	t.power = e.scaledPower
+	t.volumes = float64(e.nVolumes)
+
+	// Fast thermal estimate on the voltage-scaled power maps.
+	powers := scaledPowers(l, e.powerScale)
+	maps := make([]*geom.Grid, l.Dies)
+	for d := 0; d < l.Dies; d++ {
+		maps[d] = l.PowerMap(d, e.cfg.GridN, e.cfg.GridN, powers)
+	}
+	temps := e.fast.Estimate(maps)
+	peak := 0.0
+	for _, tm := range temps {
+		if m := tm.Max(); m > peak {
+			peak = m
+		}
+	}
+	t.peak = peak
+
+	if e.cfg.Mode == TSCAware {
+		corr, entropy := 0.0, 0.0
+		for d := 0; d < l.Dies; d++ {
+			corr += math.Abs(leakage.Pearson(maps[d], temps[d]))
+			entropy += leakage.SpatialEntropy(maps[d], leakage.EntropyOptions{})
+		}
+		t.corr = corr / float64(l.Dies)
+		t.entropy = entropy / float64(l.Dies)
+	}
+
+	// Corblivar's thermal design rule: the power-weighted distance from
+	// the heatsink-side (top) die, as a fraction of total power.
+	if l.Dies > 1 {
+		away, total := 0.0, 0.0
+		for m := range l.Design.Modules {
+			p := powers[m]
+			total += p
+			away += p * float64(l.Dies-1-l.DieOf[m]) / float64(l.Dies-1)
+		}
+		if total > 0 {
+			t.rule = away / total
+		}
+	}
+	return t
+}
+
+func (e *evaluator) voltConfig() volt.Config {
+	mode := volt.PowerAware
+	if e.cfg.Mode == TSCAware {
+		mode = volt.TSCAware
+	}
+	return volt.Config{Mode: mode, TargetFactor: e.cfg.VoltTargetFactor}
+}
+
+// Perturb applies one floorplan move; voltage scales stay valid because the
+// module set is unchanged (only geometry moves).
+func (e *evaluator) Perturb(rng *rand.Rand) func() {
+	_, undo := e.fp.Perturb(rng)
+	return undo
+}
+
+// scaledPowers applies per-module power scaling (nil = nominal).
+func scaledPowers(l *floorplan.Layout, scale []float64) []float64 {
+	p := l.NominalPowers()
+	if scale != nil {
+		for m := range p {
+			p[m] *= scale[m]
+		}
+	}
+	return p
+}

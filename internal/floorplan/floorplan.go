@@ -1,0 +1,530 @@
+// Package floorplan implements the 3D floorplan representation and layout
+// generation used by the annealer: per-die corner sequences packed by a
+// skyline (corner-step) packer, soft-module reshaping, die reassignment, and
+// the derived layout queries (power maps, wirelength, outline violation).
+//
+// Corblivar, the floorplanner the paper extends, encodes each die as a
+// corner block list (sequence + insertion direction + junction count). We
+// implement the same packing class in simplified form: each die holds an
+// ordered module sequence and a per-module insertion preference; layout
+// generation walks the sequence and drops each module at the skyline corner
+// chosen by that preference (lowest-first or leftmost-first). Packings are
+// overlap-free by construction; only fixed-outline violations can occur,
+// and those are handled by the annealing cost.
+package floorplan
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// InsertDir selects the skyline corner used when a module is placed.
+type InsertDir uint8
+
+const (
+	// LowestFirst drops the module at the lowest available corner
+	// (ties broken left), growing the packing bottom-up.
+	LowestFirst InsertDir = iota
+	// LeftmostFirst drops the module at the leftmost available corner
+	// (ties broken low), growing the packing left-to-right.
+	LeftmostFirst
+)
+
+// Floorplan is a mutable 3D floorplan state: a die assignment plus per-die
+// packing sequences. It references (and resizes) the modules of its design
+// clone; construct with New or NewRandom.
+type Floorplan struct {
+	Design *netlist.Design
+
+	// seq[d] is the packing order of module indices on die d.
+	seq [][]int
+	// dir[m] is module m's insertion preference.
+	dir []InsertDir
+	// rot[m] marks module m as rotated relative to its design footprint.
+	rot []bool
+	// aspect[m] is the soft-module aspect ratio (W/H); hard modules keep 0.
+	aspect []float64
+}
+
+// New builds a floorplan with modules dealt round-robin across dies in index
+// order. The design is cloned; the caller's design is never mutated.
+func New(des *netlist.Design) *Floorplan {
+	fp := &Floorplan{Design: des.Clone()}
+	fp.seq = make([][]int, fp.Design.Dies)
+	fp.dir = make([]InsertDir, len(fp.Design.Modules))
+	fp.rot = make([]bool, len(fp.Design.Modules))
+	fp.aspect = make([]float64, len(fp.Design.Modules))
+	for i, m := range fp.Design.Modules {
+		d := i % fp.Design.Dies
+		fp.seq[d] = append(fp.seq[d], i)
+		if m.Kind == netlist.Soft {
+			fp.aspect[i] = m.W / m.H
+		}
+	}
+	return fp
+}
+
+// NewRandom builds a floorplan with random die assignment, sequence order,
+// directions, and soft aspect ratios.
+func NewRandom(des *netlist.Design, rng *rand.Rand) *Floorplan {
+	fp := New(des)
+	n := len(fp.Design.Modules)
+	// Re-deal the dies randomly but balanced by area: shuffle then alternate.
+	order := rng.Perm(n)
+	for d := range fp.seq {
+		fp.seq[d] = fp.seq[d][:0]
+	}
+	for k, mi := range order {
+		fp.seq[k%fp.Design.Dies] = append(fp.seq[k%fp.Design.Dies], mi)
+	}
+	for i, m := range fp.Design.Modules {
+		if rng.Intn(2) == 0 {
+			fp.dir[i] = LeftmostFirst
+		}
+		if m.Kind == netlist.Soft {
+			fp.aspect[i] = clamp(0.5+rng.Float64()*1.5, m.MinAspect, m.MaxAspect)
+		}
+	}
+	return fp
+}
+
+// Clone returns an independent deep copy.
+func (fp *Floorplan) Clone() *Floorplan {
+	c := &Floorplan{Design: fp.Design.Clone()}
+	c.seq = make([][]int, len(fp.seq))
+	for d := range fp.seq {
+		c.seq[d] = append([]int(nil), fp.seq[d]...)
+	}
+	c.dir = append([]InsertDir(nil), fp.dir...)
+	c.rot = append([]bool(nil), fp.rot...)
+	c.aspect = append([]float64(nil), fp.aspect...)
+	return c
+}
+
+// DieOf returns the die index currently holding module mi, or -1.
+func (fp *Floorplan) DieOf(mi int) int {
+	for d, s := range fp.seq {
+		for _, m := range s {
+			if m == mi {
+				return d
+			}
+		}
+	}
+	return -1
+}
+
+// footprint returns the module's effective W, H after aspect and rotation.
+func (fp *Floorplan) footprint(mi int) (float64, float64) {
+	m := fp.Design.Modules[mi]
+	w, h := m.W, m.H
+	if m.Kind == netlist.Soft && fp.aspect[mi] > 0 {
+		area := m.Area()
+		h = math.Sqrt(area / fp.aspect[mi])
+		w = area / h
+	}
+	if fp.rot[mi] {
+		w, h = h, w
+	}
+	return w, h
+}
+
+// Layout is the packed physical result of a floorplan.
+type Layout struct {
+	Design *netlist.Design
+
+	// Rects[m] is module m's placed footprint on its die.
+	Rects []geom.Rect
+	// DieOf[m] is module m's die (0 = bottom, closest to package;
+	// Dies-1 = top, closest to the heatsink).
+	DieOf []int
+
+	OutlineW, OutlineH float64
+	Dies               int
+}
+
+// Pack generates the physical layout by walking each die's sequence through
+// the skyline packer. The result is always overlap-free; modules may exceed
+// the fixed outline (cost term) but never overlap each other.
+func (fp *Floorplan) Pack() *Layout {
+	l := &Layout{
+		Design:   fp.Design,
+		Rects:    make([]geom.Rect, len(fp.Design.Modules)),
+		DieOf:    make([]int, len(fp.Design.Modules)),
+		OutlineW: fp.Design.OutlineW,
+		OutlineH: fp.Design.OutlineH,
+		Dies:     fp.Design.Dies,
+	}
+	for d, s := range fp.seq {
+		sky := newSkyline(fp.Design.OutlineW)
+		for _, mi := range s {
+			w, h := fp.footprint(mi)
+			x, y := sky.place(w, h, fp.dir[mi])
+			l.Rects[mi] = geom.Rect{X: x, Y: y, W: w, H: h}
+			l.DieOf[mi] = d
+		}
+	}
+	return l
+}
+
+// skyline tracks the upper contour of a packing as a list of steps.
+type skyline struct {
+	width float64
+	xs    []float64 // step start positions, xs[0] == 0, ascending
+	ys    []float64 // step heights, ys[i] spans [xs[i], xs[i+1]) (last to width)
+}
+
+func newSkyline(width float64) *skyline {
+	return &skyline{width: width, xs: []float64{0}, ys: []float64{0}}
+}
+
+// end returns the x where step i ends.
+func (s *skyline) end(i int) float64 {
+	if i+1 < len(s.xs) {
+		return s.xs[i+1]
+	}
+	return s.width
+}
+
+// spanHeight returns the max height over [x, x+w).
+func (s *skyline) spanHeight(x, w float64) float64 {
+	h := 0.0
+	for i := range s.xs {
+		if s.end(i) <= x {
+			continue
+		}
+		if s.xs[i] >= x+w {
+			break
+		}
+		if s.ys[i] > h {
+			h = s.ys[i]
+		}
+	}
+	return h
+}
+
+// place finds a corner for a w x h module per the direction preference,
+// commits it to the skyline, and returns the lower-left position.
+func (s *skyline) place(w, h float64, dir InsertDir) (float64, float64) {
+	type cand struct{ x, y float64 }
+	var cands []cand
+	for i := range s.xs {
+		x := s.xs[i]
+		if x+w > s.width+1e-9 {
+			continue
+		}
+		cands = append(cands, cand{x, s.spanHeight(x, w)})
+	}
+	var best cand
+	if len(cands) == 0 {
+		// Module wider than the outline or no fitting corner: clamp left.
+		best = cand{0, s.spanHeight(0, math.Min(w, s.width))}
+	} else {
+		best = cands[0]
+		for _, c := range cands[1:] {
+			if better(c.x, c.y, best.x, best.y, dir) {
+				best = c
+			}
+		}
+	}
+	s.commit(best.x, w, best.y+h)
+	return best.x, best.y
+}
+
+func better(x, y, bx, by float64, dir InsertDir) bool {
+	switch dir {
+	case LeftmostFirst:
+		if x != bx {
+			return x < bx
+		}
+		return y < by
+	default: // LowestFirst
+		if y != by {
+			return y < by
+		}
+		return x < bx
+	}
+}
+
+// commit raises the skyline over [x, x+w) to newY.
+func (s *skyline) commit(x, w, newY float64) {
+	x1 := x + w
+	var nxs, nys []float64
+	// Preserve steps before x.
+	for i := range s.xs {
+		if s.xs[i] >= x {
+			break
+		}
+		end := s.end(i)
+		nxs = append(nxs, s.xs[i])
+		nys = append(nys, s.ys[i])
+		if end > x {
+			// This step straddles x; the part beyond x is replaced below.
+			break
+		}
+	}
+	// New raised step.
+	nxs = append(nxs, x)
+	nys = append(nys, newY)
+	// Preserve steps after x1, splitting any straddler.
+	for i := range s.xs {
+		end := s.end(i)
+		if end <= x1 {
+			continue
+		}
+		start := math.Max(s.xs[i], x1)
+		if start < end {
+			nxs = append(nxs, start)
+			nys = append(nys, s.ys[i])
+		}
+	}
+	// Merge duplicate x positions and equal-height neighbours.
+	s.xs, s.ys = s.xs[:0], s.ys[:0]
+	for i := range nxs {
+		if len(s.xs) > 0 {
+			lastX := s.xs[len(s.xs)-1]
+			lastY := s.ys[len(s.ys)-1]
+			if nxs[i] <= lastX+1e-12 {
+				// Same start: keep the later (overriding) value.
+				s.ys[len(s.ys)-1] = nys[i]
+				continue
+			}
+			if nys[i] == lastY {
+				continue
+			}
+		}
+		s.xs = append(s.xs, nxs[i])
+		s.ys = append(s.ys, nys[i])
+	}
+	if len(s.xs) == 0 || s.xs[0] != 0 {
+		s.xs = append([]float64{0}, s.xs...)
+		s.ys = append([]float64{0}, s.ys...)
+	}
+}
+
+// --- Layout queries ---------------------------------------------------------
+
+// Outline returns the fixed per-die outline rectangle.
+func (l *Layout) Outline() geom.Rect {
+	return geom.Rect{X: 0, Y: 0, W: l.OutlineW, H: l.OutlineH}
+}
+
+// BoundingBox returns the bounding box of all modules on die d.
+func (l *Layout) BoundingBox(d int) geom.Rect {
+	var bb geom.Rect
+	first := true
+	for mi, r := range l.Rects {
+		if l.DieOf[mi] != d {
+			continue
+		}
+		if first {
+			bb, first = r, false
+		} else {
+			bb = bb.Union(r)
+		}
+	}
+	return bb
+}
+
+// OutlineViolation returns the total area (um^2) by which modules exceed the
+// fixed outline, summed over dies. Zero means the floorplan is legal.
+func (l *Layout) OutlineViolation() float64 {
+	out := l.Outline()
+	v := 0.0
+	for _, r := range l.Rects {
+		v += r.Area() - r.OverlapArea(out)
+	}
+	return v
+}
+
+// Legal reports whether every module lies within the fixed outline.
+func (l *Layout) Legal() bool { return l.OutlineViolation() <= 1e-6 }
+
+// OverlapArea returns the total pairwise overlap area between modules that
+// share a die. The skyline packer produces zero by construction; this is a
+// verification hook.
+func (l *Layout) OverlapArea() float64 {
+	byDie := make([][]int, l.Dies)
+	for mi, d := range l.DieOf {
+		byDie[d] = append(byDie[d], mi)
+	}
+	total := 0.0
+	for _, mods := range byDie {
+		for a := 0; a < len(mods); a++ {
+			for b := a + 1; b < len(mods); b++ {
+				total += l.Rects[mods[a]].OverlapArea(l.Rects[mods[b]])
+			}
+		}
+	}
+	return total
+}
+
+// HPWL returns the total half-perimeter wirelength over all nets in um.
+// Pins are taken at module centers and terminal positions; a net spanning
+// both dies adds the configured via detour vertLen (use 0 to ignore).
+func (l *Layout) HPWL(vertLen float64) float64 {
+	total := 0.0
+	for _, n := range l.Design.Nets {
+		total += l.NetHPWL(n, vertLen)
+	}
+	return total
+}
+
+// NetHPWL returns one net's half-perimeter wirelength in um.
+func (l *Layout) NetHPWL(n *netlist.Net, vertLen float64) float64 {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	spansDies := false
+	die0 := -1
+	add := func(x, y float64) {
+		minX = math.Min(minX, x)
+		minY = math.Min(minY, y)
+		maxX = math.Max(maxX, x)
+		maxY = math.Max(maxY, y)
+	}
+	for _, mi := range n.Modules {
+		c := l.Rects[mi].Center()
+		add(c.X, c.Y)
+		if die0 == -1 {
+			die0 = l.DieOf[mi]
+		} else if l.DieOf[mi] != die0 {
+			spansDies = true
+		}
+	}
+	for _, ti := range n.Terminals {
+		t := l.Design.Terminals[ti]
+		add(t.X, t.Y)
+	}
+	if math.IsInf(minX, 1) {
+		return 0
+	}
+	wl := (maxX - minX) + (maxY - minY)
+	if spansDies {
+		wl += vertLen
+	}
+	return wl
+}
+
+// CrossDieNets returns the indices of nets whose module pins span more than
+// one die (each needs at least one signal TSV).
+func (l *Layout) CrossDieNets() []int {
+	var out []int
+	for ni, n := range l.Design.Nets {
+		die0 := -1
+		for _, mi := range n.Modules {
+			if die0 == -1 {
+				die0 = l.DieOf[mi]
+			} else if l.DieOf[mi] != die0 {
+				out = append(out, ni)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// PowerMap rasterizes the given per-module powers (Watts) onto an nx x ny
+// grid for die d; cell values are Watts (density = value / cellArea).
+func (l *Layout) PowerMap(d, nx, ny int, powers []float64) *geom.Grid {
+	g := geom.NewGrid(nx, ny)
+	out := l.Outline()
+	for mi, r := range l.Rects {
+		if l.DieOf[mi] != d {
+			continue
+		}
+		g.RasterizeDensity(out, r, powers[mi])
+	}
+	return g
+}
+
+// NominalPowers returns the design's nominal per-module powers in Watts.
+func (l *Layout) NominalPowers() []float64 {
+	p := make([]float64, len(l.Design.Modules))
+	for i, m := range l.Design.Modules {
+		p[i] = m.Power
+	}
+	return p
+}
+
+// ModulesOnDie returns the module indices placed on die d, sorted.
+func (l *Layout) ModulesOnDie(d int) []int {
+	var out []int
+	for mi, dd := range l.DieOf {
+		if dd == d {
+			out = append(out, mi)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Deadspace returns the fraction of die d's outline not covered by modules
+// (whitespace). Modules overhanging the outline contribute only their
+// inside portion.
+func (l *Layout) Deadspace(d int) float64 {
+	out := l.Outline()
+	covered := 0.0
+	for mi, r := range l.Rects {
+		if l.DieOf[mi] != d {
+			continue
+		}
+		covered += r.OverlapArea(out)
+	}
+	area := out.Area()
+	if area <= 0 {
+		return 0
+	}
+	return 1 - covered/area
+}
+
+// AdjacentModules returns, for each module, the modules whose placed
+// rectangles abut or overlap it — on the same die, or vertically on a
+// neighbouring die (footprint overlap). This drives voltage-volume growth.
+func (l *Layout) AdjacentModules() [][]int {
+	n := len(l.Rects)
+	adj := make([][]int, n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			da, db := l.DieOf[a], l.DieOf[b]
+			var linked bool
+			switch {
+			case da == db:
+				linked = l.Rects[a].Adjacent(l.Rects[b])
+			case da == db+1 || db == da+1:
+				linked = l.Rects[a].OverlapArea(l.Rects[b]) > 0
+			}
+			if linked {
+				adj[a] = append(adj[a], b)
+				adj[b] = append(adj[b], a)
+			}
+		}
+	}
+	return adj
+}
+
+// Clone returns a deep copy of the layout sharing the design.
+func (l *Layout) Clone() *Layout {
+	c := *l
+	c.Rects = append([]geom.Rect(nil), l.Rects...)
+	c.DieOf = append([]int(nil), l.DieOf...)
+	return &c
+}
+
+func (l *Layout) String() string {
+	return fmt.Sprintf("Layout(%s: %d modules, %d dies, %.0fx%.0f um)",
+		l.Design.Name, len(l.Rects), l.Dies, l.OutlineW, l.OutlineH)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

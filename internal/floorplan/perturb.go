@@ -1,0 +1,159 @@
+package floorplan
+
+import (
+	"math/rand"
+
+	"repro/internal/netlist"
+)
+
+// Op identifies a perturbation operator, mirroring Corblivar's move set.
+type Op int
+
+const (
+	// OpSwap exchanges two modules' sequence positions (possibly across dies).
+	OpSwap Op = iota
+	// OpMove removes a module and reinserts it at a random position on a
+	// random die.
+	OpMove
+	// OpRotate toggles a module's rotation.
+	OpRotate
+	// OpResize reshapes a soft module's aspect ratio.
+	OpResize
+	// OpFlipDir toggles a module's skyline insertion preference.
+	OpFlipDir
+	numOps
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSwap:
+		return "swap"
+	case OpMove:
+		return "move"
+	case OpRotate:
+		return "rotate"
+	case OpResize:
+		return "resize"
+	case OpFlipDir:
+		return "flipdir"
+	default:
+		return "op?"
+	}
+}
+
+// Perturb applies one random operator and returns an undo closure restoring
+// the previous state exactly. The returned Op reports which operator ran.
+func (fp *Floorplan) Perturb(rng *rand.Rand) (Op, func()) {
+	for {
+		op := Op(rng.Intn(int(numOps)))
+		if undo, ok := fp.apply(op, rng); ok {
+			return op, undo
+		}
+	}
+}
+
+func (fp *Floorplan) apply(op Op, rng *rand.Rand) (func(), bool) {
+	n := len(fp.Design.Modules)
+	switch op {
+	case OpSwap:
+		if n < 2 {
+			return nil, false
+		}
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			return nil, false
+		}
+		da, ia := fp.locate(a)
+		db, ib := fp.locate(b)
+		fp.seq[da][ia], fp.seq[db][ib] = fp.seq[db][ib], fp.seq[da][ia]
+		return func() {
+			fp.seq[da][ia], fp.seq[db][ib] = fp.seq[db][ib], fp.seq[da][ia]
+		}, true
+
+	case OpMove:
+		mi := rng.Intn(n)
+		d, i := fp.locate(mi)
+		// Remove.
+		fp.seq[d] = append(fp.seq[d][:i], fp.seq[d][i+1:]...)
+		// Reinsert.
+		nd := rng.Intn(fp.Design.Dies)
+		ni := 0
+		if len(fp.seq[nd]) > 0 {
+			ni = rng.Intn(len(fp.seq[nd]) + 1)
+		}
+		fp.seq[nd] = append(fp.seq[nd], 0)
+		copy(fp.seq[nd][ni+1:], fp.seq[nd][ni:])
+		fp.seq[nd][ni] = mi
+		return func() {
+			fp.seq[nd] = append(fp.seq[nd][:ni], fp.seq[nd][ni+1:]...)
+			fp.seq[d] = append(fp.seq[d], 0)
+			copy(fp.seq[d][i+1:], fp.seq[d][i:])
+			fp.seq[d][i] = mi
+		}, true
+
+	case OpRotate:
+		mi := rng.Intn(n)
+		fp.rot[mi] = !fp.rot[mi]
+		return func() { fp.rot[mi] = !fp.rot[mi] }, true
+
+	case OpResize:
+		mi := rng.Intn(n)
+		m := fp.Design.Modules[mi]
+		if m.Kind != netlist.Soft {
+			return nil, false
+		}
+		old := fp.aspect[mi]
+		// Random walk on the aspect ratio within the module's bounds.
+		f := 0.75 + 0.5*rng.Float64()
+		fp.aspect[mi] = clamp(old*f, m.MinAspect, m.MaxAspect)
+		if fp.aspect[mi] == old {
+			fp.aspect[mi] = clamp(old/f, m.MinAspect, m.MaxAspect)
+		}
+		return func() { fp.aspect[mi] = old }, true
+
+	case OpFlipDir:
+		mi := rng.Intn(n)
+		fp.dir[mi] ^= 1
+		return func() { fp.dir[mi] ^= 1 }, true
+	}
+	return nil, false
+}
+
+// locate returns the die and sequence index of module mi. Panics if absent
+// (an internal invariant violation).
+func (fp *Floorplan) locate(mi int) (die, idx int) {
+	for d, s := range fp.seq {
+		for i, m := range s {
+			if m == mi {
+				return d, i
+			}
+		}
+	}
+	panic("floorplan: module missing from all die sequences")
+}
+
+// CheckInvariants verifies that every module appears exactly once across all
+// die sequences; it returns false on the first violation. Used by tests and
+// by the annealer's debug mode.
+func (fp *Floorplan) CheckInvariants() bool {
+	seen := make([]int, len(fp.Design.Modules))
+	total := 0
+	for _, s := range fp.seq {
+		total += len(s)
+		for _, m := range s {
+			if m < 0 || m >= len(seen) {
+				return false
+			}
+			seen[m]++
+		}
+	}
+	if total != len(fp.Design.Modules) {
+		return false
+	}
+	for _, c := range seen {
+		if c != 1 {
+			return false
+		}
+	}
+	return true
+}

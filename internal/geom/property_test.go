@@ -1,0 +1,144 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randRect(rng *rand.Rand) Rect {
+	return NewRect(rng.Float64()*100, rng.Float64()*100, rng.Float64()*50+0.1, rng.Float64()*50+0.1)
+}
+
+func TestPropertyIntersectCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a, b := randRect(rng), randRect(rng)
+		oa, ok1 := a.Intersect(b)
+		ob, ok2 := b.Intersect(a)
+		if ok1 != ok2 || (ok1 && oa != ob) {
+			t.Fatalf("intersect not commutative: %+v %+v", a, b)
+		}
+	}
+}
+
+func TestPropertyIntersectIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		a := randRect(rng)
+		o, ok := a.Intersect(a)
+		if !ok || math.Abs(o.Area()-a.Area()) > 1e-9 {
+			t.Fatalf("self-intersection must be identity: %+v vs %+v", a, o)
+		}
+	}
+}
+
+func TestPropertyUnionCommutativeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		a, b, c := randRect(rng), randRect(rng), randRect(rng)
+		if a.Union(b) != b.Union(a) {
+			t.Fatal("union not commutative")
+		}
+		lhs := a.Union(b).Union(c)
+		rhs := a.Union(b.Union(c))
+		if math.Abs(lhs.Area()-rhs.Area()) > 1e-9 {
+			t.Fatal("union not associative on bounding boxes")
+		}
+	}
+}
+
+func TestPropertyTranslatePreservesArea(t *testing.T) {
+	f := func(dx, dy float64) bool {
+		if math.IsNaN(dx) || math.IsNaN(dy) || math.Abs(dx) > 1e9 || math.Abs(dy) > 1e9 {
+			return true
+		}
+		r := Rect{1, 2, 3, 4}
+		tr := r.Translate(dx, dy)
+		return tr.W == r.W && tr.H == r.H
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyScaleScalesArea(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		r := randRect(rng)
+		f := rng.Float64()*3 + 0.1
+		s := r.Scale(f)
+		if math.Abs(s.Area()-r.Area()*f*f) > 1e-6*r.Area()*f*f {
+			t.Fatalf("scale area wrong: %v vs %v", s.Area(), r.Area()*f*f)
+		}
+	}
+}
+
+func TestPropertyOverlapBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		a, b := randRect(rng), randRect(rng)
+		ov := a.OverlapArea(b)
+		if ov < 0 || ov > math.Min(a.Area(), b.Area())+1e-9 {
+			t.Fatalf("overlap %v out of bounds for %v, %v", ov, a.Area(), b.Area())
+		}
+	}
+}
+
+func TestPropertyAdjacencySymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 500; i++ {
+		a, b := randRect(rng), randRect(rng)
+		if a.Adjacent(b) != b.Adjacent(a) {
+			t.Fatalf("adjacency not symmetric: %+v %+v", a, b)
+		}
+	}
+}
+
+func TestPropertyGridDownsamplePreservesMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		g := NewGrid(8, 8)
+		for i := range g.Data {
+			g.Data[i] = rng.Float64()
+		}
+		d, err := g.Downsample(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(d.Mean()-g.Mean()) > 1e-12 {
+			t.Fatalf("downsample changed mean: %v vs %v", d.Mean(), g.Mean())
+		}
+	}
+}
+
+func TestPropertyNormalizeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := NewGrid(6, 6)
+	for i := range g.Data {
+		g.Data[i] = rng.Float64()*10 - 5
+	}
+	g.Normalize()
+	before := append([]float64(nil), g.Data...)
+	g.Normalize()
+	for i := range before {
+		if math.Abs(before[i]-g.Data[i]) > 1e-12 {
+			t.Fatal("normalize not idempotent")
+		}
+	}
+}
+
+func TestPropertyRasterizeMonotoneInValue(t *testing.T) {
+	extent := Rect{0, 0, 100, 100}
+	r := Rect{10, 10, 30, 30}
+	g1 := NewGrid(10, 10)
+	g2 := NewGrid(10, 10)
+	g1.RasterizeDensity(extent, r, 1)
+	g2.RasterizeDensity(extent, r, 2)
+	for i := range g1.Data {
+		if g2.Data[i] < g1.Data[i] {
+			t.Fatal("rasterize must be monotone in total value")
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package noiseinject implements the prior-art countermeasure the paper
+// positions itself against (Gu et al., "Thermal-aware 3D design for
+// side-channel information leakage", ICCD 2016): runtime controllers that
+// "inject dummy activities" to smooth the thermal profile and hinder
+// thermal profiling of module activity.
+//
+// The paper's critique, which this package lets you reproduce
+// (BenchmarkPriorArtNoiseInjection): (1) the injection principle costs
+// extra power — prohibitive for thermally-constrained 3D ICs — and (2) the
+// best leakage-mitigation rates are only achievable for the highest
+// injection rates, whereas TSC-aware floorplanning achieves its mitigation
+// at design time for a few percent of power.
+package noiseinject
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/leakage"
+	"repro/internal/thermal"
+)
+
+// Result reports one injection experiment.
+type Result struct {
+	// Alpha is the injection budget as a fraction of nominal power.
+	Alpha float64
+	// InjectedW is the dummy power actually spent.
+	InjectedW float64
+	// R holds the per-die power-temperature correlation AFTER injection,
+	// measured against the true (secret) power maps — what an attacker
+	// profiling module activity can still extract.
+	R []float64
+	// PeakTempK after injection.
+	PeakTempK float64
+}
+
+// Controller is the runtime noise injector: it reads the thermal map (as
+// the on-chip controllers of the prior art do via sensors), finds the cool
+// regions, and injects dummy activity there to flatten the profile.
+type Controller struct {
+	// Granularity is the number of coolest bins targeted per die.
+	// Defaults to a quarter of the bins.
+	Granularity int
+}
+
+// Smooth runs the injection against a floorplanned result: dummy power
+// totalling alpha * (design power) is spread over the coolest bins of each
+// die (proportionally to each die's share of the budget), the steady state
+// is re-solved, and the remaining leakage is measured against the original
+// secret power maps.
+func (c Controller) Smooth(res *core.Result, alpha float64) Result {
+	dies := res.Layout.Dies
+	out := Result{Alpha: alpha, R: make([]float64, dies)}
+
+	// Budget per die: proportional to the die's nominal power (the
+	// controllers of the prior art are per-die/per-layer).
+	totalP := 0.0
+	dieP := make([]float64, dies)
+	for d := 0; d < dies; d++ {
+		dieP[d] = res.PowerMaps[d].Sum()
+		totalP += dieP[d]
+	}
+
+	injected := make([]*geom.Grid, dies)
+	for d := 0; d < dies; d++ {
+		budget := alpha * dieP[d]
+		out.InjectedW += budget
+		injected[d] = c.injectionMap(res.TempMaps[d], res.PowerMaps[d], budget)
+	}
+
+	// Re-solve with secret + dummy power.
+	stack := res.Stack
+	for d := 0; d < dies; d++ {
+		combined := res.PowerMaps[d].Clone()
+		combined.AddGrid(injected[d])
+		stack.SetDiePower(d, combined)
+	}
+	sol, _ := stack.SolveSteady(nil, thermal.SolverOpts{})
+	for d := 0; d < dies; d++ {
+		out.R[d] = leakage.Pearson(res.PowerMaps[d], sol.DieTemp(d))
+		stack.SetDiePower(d, res.PowerMaps[d]) // restore
+	}
+	out.PeakTempK = sol.Peak()
+	return out
+}
+
+// injectionMap builds the dummy-power map: the budget is spread over the
+// coolest bins, weighted by how far below the die's hottest bin they sit —
+// the flattening heuristic of the runtime controllers.
+func (c Controller) injectionMap(temp, power *geom.Grid, budget float64) *geom.Grid {
+	n := temp.NX * temp.NY
+	gran := c.Granularity
+	if gran <= 0 {
+		gran = n / 4
+	}
+	type bin struct {
+		idx int
+		t   float64
+	}
+	bins := make([]bin, n)
+	for i := 0; i < n; i++ {
+		bins[i] = bin{i, temp.Data[i]}
+	}
+	sort.Slice(bins, func(a, b int) bool { return bins[a].t < bins[b].t })
+	if gran > n {
+		gran = n
+	}
+	hottest := temp.Max()
+	weights := make([]float64, gran)
+	wsum := 0.0
+	for k := 0; k < gran; k++ {
+		w := hottest - bins[k].t
+		if w <= 0 {
+			w = 1e-12
+		}
+		weights[k] = w
+		wsum += w
+	}
+	out := geom.NewGrid(temp.NX, temp.NY)
+	if wsum <= 0 || budget <= 0 {
+		return out
+	}
+	for k := 0; k < gran; k++ {
+		out.Data[bins[k].idx] = budget * weights[k] / wsum
+	}
+	return out
+}
+
+// Sweep evaluates injection rates and returns one Result per alpha —
+// the prior art's mitigation-vs-power trade-off curve.
+func (c Controller) Sweep(res *core.Result, alphas []float64) []Result {
+	out := make([]Result, 0, len(alphas))
+	for _, a := range alphas {
+		out = append(out, c.Smooth(res, a))
+	}
+	return out
+}
+
+// MeanAbsR averages |R| over dies.
+func (r Result) MeanAbsR() float64 {
+	if len(r.R) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range r.R {
+		s += math.Abs(v)
+	}
+	return s / float64(len(r.R))
+}

@@ -1,0 +1,78 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/floorplan"
+)
+
+// RenderFloorplan draws one die of a layout as ASCII art (the terminal
+// counterpart of the paper's Figure 4a): each module's footprint is filled
+// with a letter cycling through the alphabet, sensitive modules are
+// upper-cased, and whitespace stays blank. Width is the character-grid
+// width; the height follows from the die aspect ratio (terminal cells are
+// roughly twice as tall as wide, so the row count is halved).
+func RenderFloorplan(l *floorplan.Layout, die, width int) string {
+	if width < 8 {
+		width = 8
+	}
+	height := int(float64(width) * l.OutlineH / l.OutlineW / 2)
+	if height < 4 {
+		height = 4
+	}
+	cells := make([]byte, width*height)
+	for i := range cells {
+		cells[i] = ' '
+	}
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	k := 0
+	for mi, r := range l.Rects {
+		if l.DieOf[mi] != die {
+			continue
+		}
+		ch := letters[k%len(letters)]
+		k++
+		if l.Design.Modules[mi].Sensitive {
+			ch = ch - 'a' + 'A'
+		}
+		i0 := int(r.X / l.OutlineW * float64(width))
+		i1 := int(r.MaxX() / l.OutlineW * float64(width))
+		j0 := int(r.Y / l.OutlineH * float64(height))
+		j1 := int(r.MaxY() / l.OutlineH * float64(height))
+		i0, i1 = clampRange(i0, i1, width)
+		j0, j1 = clampRange(j0, j1, height)
+		for j := j0; j < j1; j++ {
+			for i := i0; i < i1; i++ {
+				cells[j*width+i] = ch
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "die %d (%dx%d um, %d modules):\n", die, int(l.OutlineW), int(l.OutlineH), len(l.ModulesOnDie(die)))
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("+\n")
+	for j := height - 1; j >= 0; j-- {
+		b.WriteByte('|')
+		b.Write(cells[j*width : (j+1)*width])
+		b.WriteString("|\n")
+	}
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("+\n")
+	return b.String()
+}
+
+func clampRange(lo, hi, n int) (int, int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if hi <= lo && lo < n {
+		hi = lo + 1
+	}
+	return lo, hi
+}

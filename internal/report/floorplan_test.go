@@ -1,0 +1,82 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/netlist"
+)
+
+func renderDesign() *floorplan.Layout {
+	d := &netlist.Design{
+		Name: "r",
+		Modules: []*netlist.Module{
+			{Name: "a", Kind: netlist.Hard, W: 50, H: 50, Power: 1},
+			{Name: "b", Kind: netlist.Hard, W: 50, H: 50, Power: 1, Sensitive: true},
+		},
+		Nets:     []*netlist.Net{{Name: "n", Modules: []int{0, 1}}},
+		OutlineW: 100, OutlineH: 100, Dies: 1,
+	}
+	return floorplan.New(d).Pack()
+}
+
+func TestRenderFloorplanStructure(t *testing.T) {
+	l := renderDesign()
+	out := RenderFloorplan(l, 0, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + top border + rows + bottom border.
+	if len(lines) < 7 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "+") || !strings.HasSuffix(lines[1], "+") {
+		t.Fatal("missing border")
+	}
+	for _, ln := range lines[2 : len(lines)-1] {
+		if len(ln) != 42 { // | + 40 + |
+			t.Fatalf("row width %d: %q", len(ln), ln)
+		}
+	}
+}
+
+func TestRenderShowsModulesAndSensitivity(t *testing.T) {
+	l := renderDesign()
+	out := RenderFloorplan(l, 0, 40)
+	if !strings.Contains(out, "a") {
+		t.Fatal("module a missing")
+	}
+	// Sensitive module renders upper-case.
+	if !strings.Contains(out, "B") {
+		t.Fatal("sensitive module should be upper-case")
+	}
+	if strings.Contains(strings.TrimPrefix(out, "die 0"), "b") {
+		t.Fatal("sensitive module must not render lower-case")
+	}
+}
+
+func TestRenderEmptyDie(t *testing.T) {
+	l := renderDesign()
+	out := RenderFloorplan(l, 0, 8)
+	if out == "" {
+		t.Fatal("empty output")
+	}
+	// Rendering a die index with no modules must not panic and shows only
+	// whitespace between borders.
+	d := renderDesign()
+	d.DieOf[0], d.DieOf[1] = 0, 0
+	out2 := RenderFloorplan(d, 1, 20)
+	if strings.ContainsAny(out2, "abAB") {
+		t.Fatal("die 1 should be empty")
+	}
+}
+
+func TestClampRange(t *testing.T) {
+	lo, hi := clampRange(-2, 50, 10)
+	if lo != 0 || hi != 10 {
+		t.Fatalf("got %d %d", lo, hi)
+	}
+	lo, hi = clampRange(3, 3, 10)
+	if hi != 4 {
+		t.Fatalf("degenerate range must widen: %d %d", lo, hi)
+	}
+}

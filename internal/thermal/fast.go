@@ -1,0 +1,215 @@
+package thermal
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// FastEstimator is the in-loop thermal analysis: per (source die, target
+// die) Gaussian impulse-response masks calibrated once against the detailed
+// solver, then applied by separable convolution over the power maps. This
+// mirrors Corblivar's "power blurring" analysis, which the paper describes
+// as fast but "inferior to the detailed analysis of HotSpot, especially for
+// diverse arrangements of TSVs" — the estimator deliberately ignores TSV
+// heterogeneity, exactly like its model.
+type FastEstimator struct {
+	nx, ny  int
+	dies    int
+	ambient float64
+	// amp[s][t] and sigma[s][t]: peak response (K per W) and spatial spread
+	// (in cells) on target die t for a unit impulse on source die s.
+	amp   [][]float64
+	sigma [][]float64
+}
+
+// CalibrateFast builds a FastEstimator for the given stack configuration by
+// running one detailed impulse solve per die. The stack's currently
+// installed power and TSV maps are not consulted; calibration uses a clean
+// TSV-free stack of the same configuration.
+func CalibrateFast(cfg Config) *FastEstimator {
+	fe := &FastEstimator{
+		nx: cfg.NX, ny: cfg.NY, dies: cfg.Dies, ambient: cfg.Ambient,
+		amp:   make([][]float64, cfg.Dies),
+		sigma: make([][]float64, cfg.Dies),
+	}
+	stack := NewStack(cfg)
+	ci, cj := cfg.NX/2, cfg.NY/2
+	for src := 0; src < cfg.Dies; src++ {
+		fe.amp[src] = make([]float64, cfg.Dies)
+		fe.sigma[src] = make([]float64, cfg.Dies)
+		// Unit impulse: 1 W in the center cell of the source die.
+		for d := 0; d < cfg.Dies; d++ {
+			stack.SetDiePower(d, geom.NewGrid(cfg.NX, cfg.NY))
+		}
+		imp := geom.NewGrid(cfg.NX, cfg.NY)
+		imp.Set(ci, cj, 1.0)
+		stack.SetDiePower(src, imp)
+		sol, _ := stack.SolveSteady(nil, SolverOpts{Tol: 1e-6})
+		for tgt := 0; tgt < cfg.Dies; tgt++ {
+			dt := sol.DieTemp(tgt)
+			// Response above the die's far-field (baseline) temperature.
+			base := dt.Quantile(0.05)
+			peak := dt.At(ci, cj) - base
+			if peak <= 0 {
+				peak = 1e-9
+			}
+			// Second moment of the excess response gives the Gaussian sigma.
+			var m0, m2 float64
+			for j := 0; j < cfg.NY; j++ {
+				for i := 0; i < cfg.NX; i++ {
+					e := dt.At(i, j) - base
+					if e <= 0 {
+						continue
+					}
+					dx, dy := float64(i-ci), float64(j-cj)
+					m0 += e
+					m2 += e * (dx*dx + dy*dy)
+				}
+			}
+			sig := 1.0
+			if m0 > 0 {
+				sig = math.Sqrt(m2 / m0 / 2.0)
+			}
+			if sig < 0.5 {
+				sig = 0.5
+			}
+			fe.amp[src][tgt] = peak
+			fe.sigma[src][tgt] = sig
+		}
+	}
+	return fe
+}
+
+// Estimate returns the estimated temperature map (K) of each die given the
+// per-die power maps (W per cell). Superposition of blurred sources plus the
+// ambient offset.
+func (fe *FastEstimator) Estimate(power []*geom.Grid) []*geom.Grid {
+	if len(power) != fe.dies {
+		panic("thermal: power map count must equal die count")
+	}
+	out := make([]*geom.Grid, fe.dies)
+	for t := 0; t < fe.dies; t++ {
+		g := geom.NewGrid(fe.nx, fe.ny)
+		g.Fill(fe.ambient)
+		out[t] = g
+	}
+	for s := 0; s < fe.dies; s++ {
+		for t := 0; t < fe.dies; t++ {
+			blurred := gaussianBlur(power[s], fe.sigma[s][t])
+			blurred.ScaleBy(fe.amp[s][t])
+			out[t].AddGrid(blurred)
+		}
+	}
+	return out
+}
+
+// EstimateDie is Estimate restricted to one target die.
+func (fe *FastEstimator) EstimateDie(power []*geom.Grid, target int) *geom.Grid {
+	g := geom.NewGrid(fe.nx, fe.ny)
+	g.Fill(fe.ambient)
+	for s := 0; s < fe.dies; s++ {
+		blurred := gaussianBlur(power[s], fe.sigma[s][target])
+		blurred.ScaleBy(fe.amp[s][target])
+		g.AddGrid(blurred)
+	}
+	return g
+}
+
+// Adjoint applies the transpose of the estimator's linear operator to a set
+// of per-die temperature residuals, yielding per-die power-space gradients.
+// Because the Gaussian blur kernel is symmetric, the adjoint of "blur then
+// scale by amp" is "scale by amp then blur": adj_s = sum_t amp[s][t] *
+// blur(residual_t, sigma[s][t]). Used by the temperature-to-power inversion
+// attack (the paper's cited PowerField-style proxy).
+func (fe *FastEstimator) Adjoint(residuals []*geom.Grid) []*geom.Grid {
+	if len(residuals) != fe.dies {
+		panic("thermal: residual count must equal die count")
+	}
+	out := make([]*geom.Grid, fe.dies)
+	for s := 0; s < fe.dies; s++ {
+		g := geom.NewGrid(fe.nx, fe.ny)
+		for t := 0; t < fe.dies; t++ {
+			b := gaussianBlur(residuals[t], fe.sigma[s][t])
+			b.ScaleBy(fe.amp[s][t])
+			g.AddGrid(b)
+		}
+		out[s] = g
+	}
+	return out
+}
+
+// Rises returns the temperature-rise maps (without the ambient offset) for
+// the given power maps: the pure linear part of Estimate.
+func (fe *FastEstimator) Rises(power []*geom.Grid) []*geom.Grid {
+	maps := fe.Estimate(power)
+	for _, m := range maps {
+		for i := range m.Data {
+			m.Data[i] -= fe.ambient
+		}
+	}
+	return maps
+}
+
+// Dies returns the estimator's die count.
+func (fe *FastEstimator) Dies() int { return fe.dies }
+
+// gaussianBlur applies a separable normalized Gaussian of the given sigma
+// (in cells) with reflective boundaries.
+func gaussianBlur(g *geom.Grid, sigma float64) *geom.Grid {
+	if sigma <= 0 {
+		return g.Clone()
+	}
+	radius := int(math.Ceil(3 * sigma))
+	if radius < 1 {
+		radius = 1
+	}
+	kernel := make([]float64, 2*radius+1)
+	sum := 0.0
+	for k := -radius; k <= radius; k++ {
+		v := math.Exp(-float64(k*k) / (2 * sigma * sigma))
+		kernel[k+radius] = v
+		sum += v
+	}
+	for i := range kernel {
+		kernel[i] /= sum
+	}
+	nx, ny := g.NX, g.NY
+	tmp := geom.NewGrid(nx, ny)
+	// Horizontal pass.
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			acc := 0.0
+			for k := -radius; k <= radius; k++ {
+				ii := reflect(i+k, nx)
+				acc += kernel[k+radius] * g.At(ii, j)
+			}
+			tmp.Set(i, j, acc)
+		}
+	}
+	out := geom.NewGrid(nx, ny)
+	// Vertical pass.
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			acc := 0.0
+			for k := -radius; k <= radius; k++ {
+				jj := reflect(j+k, ny)
+				acc += kernel[k+radius] * tmp.At(i, jj)
+			}
+			out.Set(i, j, acc)
+		}
+	}
+	return out
+}
+
+func reflect(i, n int) int {
+	for i < 0 || i >= n {
+		if i < 0 {
+			i = -i - 1
+		}
+		if i >= n {
+			i = 2*n - i - 1
+		}
+	}
+	return i
+}

@@ -1,0 +1,258 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Solution holds a solved temperature field in Kelvin.
+type Solution struct {
+	stack *Stack
+	T     []float64
+}
+
+// Stats reports solver effort and convergence.
+type Stats struct {
+	Sweeps    int
+	Residual  float64 // final max update in K
+	Converged bool
+}
+
+// SolverOpts tunes the iterative solvers.
+type SolverOpts struct {
+	Tol       float64 // max per-sweep update in K; default 1e-5
+	MaxSweeps int     // default 20000
+	Omega     float64 // SOR relaxation; 0 selects an automatic value
+}
+
+func (o *SolverOpts) defaults(nx, ny int) {
+	if o.Tol == 0 {
+		o.Tol = 1e-5
+	}
+	if o.MaxSweeps == 0 {
+		o.MaxSweeps = 20000
+	}
+	if o.Omega == 0 {
+		// Optimal SOR factor for a Poisson-like problem on the lateral grid;
+		// the ambient sink term only improves conditioning.
+		n := nx
+		if ny > n {
+			n = ny
+		}
+		o.Omega = 2.0 / (1.0 + math.Sin(math.Pi/float64(n)))
+	}
+}
+
+// SolveSteady solves the steady-state heat equation. A previous solution may
+// be passed to warm-start the iteration (nil starts from ambient).
+func (s *Stack) SolveSteady(prev *Solution, opts SolverOpts) (*Solution, Stats) {
+	if s.dirty {
+		s.rebuild()
+	}
+	opts.defaults(s.nx, s.ny)
+	n := s.NumCells()
+	T := make([]float64, n)
+	if prev != nil && len(prev.T) == n {
+		copy(T, prev.T)
+	} else {
+		for i := range T {
+			T[i] = s.Cfg.Ambient
+		}
+	}
+	stats := s.sor(T, opts)
+	return &Solution{stack: s, T: T}, stats
+}
+
+// sor runs SOR sweeps in place until converged.
+func (s *Stack) sor(T []float64, opts SolverOpts) Stats {
+	nx, ny, nl := s.nx, s.ny, s.nl
+	plane := nx * ny
+	amb := s.Cfg.Ambient
+	w := opts.Omega
+	var st Stats
+	for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
+		maxUpd := 0.0
+		for l := 0; l < nl; l++ {
+			for j := 0; j < ny; j++ {
+				base := (l*ny + j) * nx
+				for i := 0; i < nx; i++ {
+					id := base + i
+					num := s.power[id] + s.gAmb[id]*amb
+					if i > 0 {
+						num += s.gE[id-1] * T[id-1]
+					}
+					if i+1 < nx {
+						num += s.gE[id] * T[id+1]
+					}
+					if j > 0 {
+						num += s.gN[id-nx] * T[id-nx]
+					}
+					if j+1 < ny {
+						num += s.gN[id] * T[id+nx]
+					}
+					if l > 0 {
+						num += s.gU[id-plane] * T[id-plane]
+					}
+					if l+1 < nl {
+						num += s.gU[id] * T[id+plane]
+					}
+					tNew := (1-w)*T[id] + w*num/s.diag[id]
+					upd := math.Abs(tNew - T[id])
+					if upd > maxUpd {
+						maxUpd = upd
+					}
+					T[id] = tNew
+				}
+			}
+		}
+		st.Sweeps = sweep + 1
+		st.Residual = maxUpd
+		if maxUpd < opts.Tol {
+			st.Converged = true
+			return st
+		}
+	}
+	return st
+}
+
+// SolveTransient advances the field from an initial solution (nil = ambient)
+// by `steps` implicit-Euler steps of length dt seconds. The optional powerAt
+// callback may rescale the injected power before each step (it receives the
+// step index and must return a multiplier applied to the installed power
+// maps); nil keeps power constant. Returns the trajectory of solutions
+// sampled every `sample` steps (sample<=0 records only the final state).
+func (s *Stack) SolveTransient(init *Solution, dt float64, steps, sample int, powerAt func(step int) float64) []*Solution {
+	if s.dirty {
+		s.rebuild()
+	}
+	n := s.NumCells()
+	T := make([]float64, n)
+	if init != nil && len(init.T) == n {
+		copy(T, init.T)
+	} else {
+		for i := range T {
+			T[i] = s.Cfg.Ambient
+		}
+	}
+	// Per-cell thermal capacitance over dt.
+	cOverDT := make([]float64, n)
+	for l := 0; l < s.nl; l++ {
+		c := s.Layers[l].Cap * s.area * s.Layers[l].Thickness / dt
+		for j := 0; j < s.ny; j++ {
+			for i := 0; i < s.nx; i++ {
+				cOverDT[s.idx(l, j, i)] = c
+			}
+		}
+	}
+	basePower := append([]float64(nil), s.power...)
+	defer copy(s.power, basePower)
+
+	var out []*Solution
+	opts := SolverOpts{Tol: 1e-5, MaxSweeps: 4000}
+	opts.defaults(s.nx, s.ny)
+	plane := s.nx * s.ny
+	amb := s.Cfg.Ambient
+	for step := 0; step < steps; step++ {
+		scale := 1.0
+		if powerAt != nil {
+			scale = powerAt(step)
+		}
+		// Implicit Euler: (C/dt + G) T_new = C/dt T_old + q.
+		// Reuse the SOR kernel by treating C/dt as an extra ambient-like
+		// link toward T_old.
+		Told := append([]float64(nil), T...)
+		for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
+			maxUpd := 0.0
+			for l := 0; l < s.nl; l++ {
+				for j := 0; j < s.ny; j++ {
+					base := (l*s.ny + j) * s.nx
+					for i := 0; i < s.nx; i++ {
+						id := base + i
+						num := basePower[id]*scale + s.gAmb[id]*amb + cOverDT[id]*Told[id]
+						if i > 0 {
+							num += s.gE[id-1] * T[id-1]
+						}
+						if i+1 < s.nx {
+							num += s.gE[id] * T[id+1]
+						}
+						if j > 0 {
+							num += s.gN[id-s.nx] * T[id-s.nx]
+						}
+						if j+1 < s.ny {
+							num += s.gN[id] * T[id+s.nx]
+						}
+						if l > 0 {
+							num += s.gU[id-plane] * T[id-plane]
+						}
+						if l+1 < s.nl {
+							num += s.gU[id] * T[id+plane]
+						}
+						den := s.diag[id] + cOverDT[id]
+						tNew := (1-opts.Omega)*T[id] + opts.Omega*num/den
+						if u := math.Abs(tNew - T[id]); u > maxUpd {
+							maxUpd = u
+						}
+						T[id] = tNew
+					}
+				}
+			}
+			if maxUpd < opts.Tol {
+				break
+			}
+		}
+		if sample > 0 && (step+1)%sample == 0 {
+			out = append(out, &Solution{stack: s, T: append([]float64(nil), T...)})
+		}
+	}
+	if sample <= 0 {
+		out = append(out, &Solution{stack: s, T: T})
+	}
+	return out
+}
+
+// DieTemp returns the temperature map (K) of die d's active layer.
+func (sol *Solution) DieTemp(d int) *geom.Grid {
+	s := sol.stack
+	l := s.activeLayer(d)
+	g := geom.NewGrid(s.nx, s.ny)
+	copy(g.Data, sol.T[s.idx(l, 0, 0):s.idx(l, 0, 0)+s.nx*s.ny])
+	return g
+}
+
+// LayerTemp returns the temperature map of an arbitrary layer.
+func (sol *Solution) LayerTemp(l int) *geom.Grid {
+	s := sol.stack
+	if l < 0 || l >= s.nl {
+		panic(fmt.Sprintf("thermal: layer %d out of range", l))
+	}
+	g := geom.NewGrid(s.nx, s.ny)
+	copy(g.Data, sol.T[s.idx(l, 0, 0):s.idx(l, 0, 0)+s.nx*s.ny])
+	return g
+}
+
+// Peak returns the hottest temperature anywhere in the stack.
+func (sol *Solution) Peak() float64 {
+	m := math.Inf(-1)
+	for _, t := range sol.T {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// EnergyBalance returns (powerIn, powerOut): the injected power and the heat
+// leaving through the ambient links. At a converged steady state the two
+// match to solver tolerance.
+func (sol *Solution) EnergyBalance() (in, out float64) {
+	s := sol.stack
+	for id, p := range s.power {
+		in += p
+		if s.gAmb[id] > 0 {
+			out += s.gAmb[id] * (sol.T[id] - s.Cfg.Ambient)
+		}
+	}
+	return in, out
+}

@@ -1,0 +1,200 @@
+// Package timing estimates timing paths for block-level 3D floorplans: net
+// delays via Elmore models of the placed wires (including TSV parasitics for
+// cross-die nets), module delays from their intrinsic values scaled by the
+// voltage assignment, and a static timing analysis that yields the critical
+// delay and per-module slacks. The voltage-assignment stage (internal/volt)
+// consumes the slacks, exactly as the paper describes: "the prospects for
+// voltage assignment depend primarily on timing slacks".
+//
+// Block-level IP modules are registered at their boundaries, so a timing
+// path is one hop: source module internal delay + Elmore net delay + sink
+// module internal delay, and the critical delay is the worst hop. This is
+// the standard floorplan-stage model for black-box IP (the paper's Sec. 2.2
+// threat model: only basic module properties are known) and it lands the
+// critical delays in the paper's reported range (Table 2: 0.78 - 3.8 ns).
+package timing
+
+import (
+	"math"
+
+	"repro/internal/floorplan"
+)
+
+// Params holds the interconnect parasitics. Units: resistance kOhm,
+// capacitance fF, lengths um; kOhm*fF = ps. Defaults model a 90 nm node,
+// matching the paper's voltage-scaling data point.
+type Params struct {
+	RWire   float64 // kOhm per um
+	CWire   float64 // fF per um
+	RDriver float64 // kOhm, driving-point resistance
+	CPin    float64 // fF per sink pin
+	RTSV    float64 // kOhm per TSV
+	CTSV    float64 // fF per TSV
+	VertLen float64 // um, wirelength detour charged to a cross-die net
+}
+
+// DefaultParams returns 90 nm-class parasitics.
+func DefaultParams() Params {
+	return Params{
+		RWire:   0.08e-3, // 0.08 Ohm/um
+		CWire:   0.2,     // 0.2 fF/um
+		RDriver: 1.0,     // 1 kOhm
+		CPin:    2.0,     // 2 fF
+		RTSV:    0.05e-3, // 50 mOhm
+		CTSV:    50.0,    // 50 fF
+		VertLen: 50.0,    // um through the bond layer
+	}
+}
+
+// Analysis is the result of one STA pass over a layout.
+type Analysis struct {
+	// NetDelay[n] is net n's Elmore delay in ns.
+	NetDelay []float64
+	// Arrive[m] is the worst incoming stage into module m: the largest
+	// (driver delay + net delay) over nets driving m, in ns.
+	Arrive []float64
+	// Depart[m] is the worst outgoing stage from module m: the largest
+	// (net delay + sink delay) over nets m drives, in ns.
+	Depart []float64
+	// ModuleDelay[m] is the voltage-scaled module delay used.
+	ModuleDelay []float64
+	// Critical is the design's critical (single-hop) path delay in ns.
+	Critical float64
+}
+
+// Analyze runs Elmore estimation and single-hop STA over the layout.
+// delayScale[m] multiplies module m's intrinsic delay (nil = all 1.0, the
+// 1.0 V reference).
+func Analyze(l *floorplan.Layout, delayScale []float64, p Params) *Analysis {
+	nMod := len(l.Design.Modules)
+	a := &Analysis{
+		NetDelay:    make([]float64, len(l.Design.Nets)),
+		Arrive:      make([]float64, nMod),
+		Depart:      make([]float64, nMod),
+		ModuleDelay: make([]float64, nMod),
+	}
+	for m, mod := range l.Design.Modules {
+		s := 1.0
+		if delayScale != nil {
+			s = delayScale[m]
+		}
+		a.ModuleDelay[m] = mod.IntrinsicDelay * s
+	}
+	for ni := range l.Design.Nets {
+		a.NetDelay[ni] = NetElmore(l, ni, p)
+	}
+	// Orient each net from its lowest-index module pin to the others (the
+	// conventional driver heuristic for direction-less benchmarks).
+	for ni, n := range l.Design.Nets {
+		if len(n.Modules) < 2 {
+			continue
+		}
+		drv := n.Modules[0]
+		for _, m := range n.Modules[1:] {
+			if m < drv {
+				drv = m
+			}
+		}
+		nd := a.NetDelay[ni]
+		for _, m := range n.Modules {
+			if m == drv {
+				continue
+			}
+			if in := a.ModuleDelay[drv] + nd; in > a.Arrive[m] {
+				a.Arrive[m] = in
+			}
+			if out := nd + a.ModuleDelay[m]; out > a.Depart[drv] {
+				a.Depart[drv] = out
+			}
+		}
+	}
+	for m := 0; m < nMod; m++ {
+		if th := a.PathThrough(m); th > a.Critical {
+			a.Critical = th
+		}
+	}
+	return a
+}
+
+// PathThrough returns the longest single-hop path touching module m in ns:
+// its own delay plus the worse of its worst incoming and outgoing stages.
+func (a *Analysis) PathThrough(m int) float64 {
+	return a.ModuleDelay[m] + math.Max(a.Arrive[m], a.Depart[m])
+}
+
+// Slack returns module m's slack against a target clock period in ns.
+func (a *Analysis) Slack(m int, target float64) float64 {
+	return target - a.PathThrough(m)
+}
+
+// NetElmore returns net ni's Elmore delay in ns for the given layout.
+// The model: a driver of resistance RDriver charges the net's distributed
+// RC (length = half-perimeter wirelength plus the vertical detour for
+// cross-die nets) and the sink pin loads; TSVs on cross-die nets add their
+// lumped resistance and capacitance.
+func NetElmore(l *floorplan.Layout, ni int, p Params) float64 {
+	n := l.Design.Nets[ni]
+	length := l.NetHPWL(n, 0)
+	tsvs := 0
+	die0 := -1
+	for _, mi := range n.Modules {
+		if die0 == -1 {
+			die0 = l.DieOf[mi]
+		} else if l.DieOf[mi] != die0 {
+			tsvs = 1
+			break
+		}
+	}
+	if tsvs > 0 {
+		length += p.VertLen
+	}
+	sinkPins := float64(n.Degree() - 1)
+	cTotal := p.CWire*length + p.CPin*sinkPins + p.CTSV*float64(tsvs)
+	// Driver sees the full load; the distributed wire adds R*C/2; the TSV
+	// adds its lumped RC charging the downstream half of the load.
+	ps := p.RDriver*cTotal +
+		0.5*p.RWire*length*(p.CWire*length+p.CPin*sinkPins) +
+		p.RTSV*float64(tsvs)*cTotal/2
+	return ps * 1e-3 // ps -> ns
+}
+
+// WorstPaths returns the k modules with the longest paths through them,
+// sorted descending — the voltage-assignment stage protects these first.
+func (a *Analysis) WorstPaths(k int) []int {
+	n := len(a.ModuleDelay)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	if k > n {
+		k = n
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if a.PathThrough(idx[j]) > a.PathThrough(idx[best]) {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx[:k]
+}
+
+// TotalNetDelay returns the sum of all net delays (an optimization proxy).
+func (a *Analysis) TotalNetDelay() float64 {
+	s := 0.0
+	for _, d := range a.NetDelay {
+		s += d
+	}
+	return s
+}
+
+// MaxNetDelay returns the largest single net delay.
+func (a *Analysis) MaxNetDelay() float64 {
+	m := 0.0
+	for _, d := range a.NetDelay {
+		m = math.Max(m, d)
+	}
+	return m
+}

@@ -1,0 +1,208 @@
+package tsv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+)
+
+func layoutN100(t *testing.T) *floorplan.Layout {
+	t.Helper()
+	des := bench.MustGenerate("n100")
+	return floorplan.NewRandom(des, rand.New(rand.NewSource(1))).Pack()
+}
+
+func TestPlanSignalsOnePerCrossDieNet(t *testing.T) {
+	l := layoutN100(t)
+	p := PlanSignals(l, Options{})
+	if got, want := p.SignalCount(), len(l.CrossDieNets()); got != want {
+		t.Fatalf("signal TSVs %d, want %d", got, want)
+	}
+	if p.DummyCount() != 0 {
+		t.Fatal("fresh plan must have no dummies")
+	}
+}
+
+func TestSignalTSVsInsideOutline(t *testing.T) {
+	l := layoutN100(t)
+	p := PlanSignals(l, Options{})
+	for _, v := range p.TSVs {
+		if v.Pos.X < 0 || v.Pos.X > l.OutlineW || v.Pos.Y < 0 || v.Pos.Y > l.OutlineH {
+			t.Fatalf("TSV at %+v outside outline", v.Pos)
+		}
+	}
+}
+
+func TestIslandsClusterPositions(t *testing.T) {
+	l := layoutN100(t)
+	single := PlanSignals(l, Options{})
+	island := PlanSignals(l, Options{IslandCapacity: 16, IslandGridN: 4})
+	if island.SignalCount() != single.SignalCount() {
+		t.Fatalf("island planning changed via count: %d vs %d",
+			island.SignalCount(), single.SignalCount())
+	}
+	distinct := func(p *Plan) int {
+		seen := map[geom.Point]bool{}
+		for _, v := range p.TSVs {
+			seen[v.Pos] = true
+		}
+		return len(seen)
+	}
+	if distinct(island) >= distinct(single) {
+		t.Fatalf("islands should share positions: %d vs %d", distinct(island), distinct(single))
+	}
+}
+
+func TestAddDummy(t *testing.T) {
+	l := layoutN100(t)
+	p := PlanSignals(l, Options{})
+	p.AddDummy(geom.Point{X: 100, Y: 100}, 4)
+	if p.DummyCount() != 4 {
+		t.Fatalf("dummy count %d", p.DummyCount())
+	}
+}
+
+func TestCuFractionMapBounds(t *testing.T) {
+	l := layoutN100(t)
+	p := PlanSignals(l, Options{})
+	g := p.CuFractionMap(64, 64)
+	for _, v := range g.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("fraction %v out of [0,1]", v)
+		}
+	}
+	if g.Sum() <= 0 {
+		t.Fatal("map must carry copper")
+	}
+}
+
+func TestCuFractionScalesWithCount(t *testing.T) {
+	p := &Plan{Geometry: DefaultGeometry(), OutlineW: 1000, OutlineH: 1000}
+	p.AddDummy(geom.Point{X: 500, Y: 500}, 1)
+	g1 := p.CuFractionMap(10, 10)
+	p2 := &Plan{Geometry: DefaultGeometry(), OutlineW: 1000, OutlineH: 1000}
+	p2.AddDummy(geom.Point{X: 500, Y: 500}, 3)
+	g3 := p2.CuFractionMap(10, 10)
+	if math.Abs(g3.Sum()-3*g1.Sum()) > 1e-12 {
+		t.Fatalf("copper should scale with via count: %v vs 3*%v", g3.Sum(), g1.Sum())
+	}
+}
+
+func TestDensityMapCountsVias(t *testing.T) {
+	p := &Plan{Geometry: DefaultGeometry(), OutlineW: 100, OutlineH: 100}
+	p.AddDummy(geom.Point{X: 10, Y: 10}, 2)
+	p.AddDummy(geom.Point{X: 90, Y: 90}, 3)
+	g := p.DensityMap(10, 10)
+	if g.Sum() != 5 {
+		t.Fatalf("density sum %v", g.Sum())
+	}
+}
+
+func TestOccupiedArea(t *testing.T) {
+	p := &Plan{Geometry: DefaultGeometry(), OutlineW: 100, OutlineH: 100}
+	p.AddDummy(geom.Point{X: 10, Y: 10}, 4)
+	want := 4 * p.Geometry.FootprintPerVia()
+	if p.OccupiedArea() != want {
+		t.Fatalf("area %v want %v", p.OccupiedArea(), want)
+	}
+}
+
+func TestGeometryAreas(t *testing.T) {
+	g := DefaultGeometry()
+	if g.CuAreaPerVia() <= 0 || g.FootprintPerVia() <= 0 {
+		t.Fatal("areas must be positive")
+	}
+	if g.CuAreaPerVia() >= g.FootprintPerVia() {
+		t.Fatal("copper body must be smaller than footprint with keep-out")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	p := &Plan{Geometry: DefaultGeometry(), OutlineW: 100, OutlineH: 100}
+	p.AddDummy(geom.Point{X: 1, Y: 1}, 1)
+	c := p.Clone()
+	c.AddDummy(geom.Point{X: 2, Y: 2}, 1)
+	if len(p.TSVs) != 1 {
+		t.Fatal("clone aliases source")
+	}
+}
+
+func TestPatternsGenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, pat := range AllPatterns() {
+		plan := GeneratePattern(pat, 4000, 4000, rng)
+		if pat == PatternNone {
+			if len(plan.TSVs) != 0 {
+				t.Fatalf("%v: expected empty plan", pat)
+			}
+			continue
+		}
+		if len(plan.TSVs) == 0 {
+			t.Fatalf("%v: expected TSVs", pat)
+		}
+		for _, v := range plan.TSVs {
+			if v.Pos.X < 0 || v.Pos.X > 4000 || v.Pos.Y < 0 || v.Pos.Y > 4000 {
+				t.Fatalf("%v: via at %+v outside die", pat, v.Pos)
+			}
+		}
+	}
+}
+
+func TestMaxDensityCoversDie(t *testing.T) {
+	plan := GeneratePattern(PatternMaxDensity, 1000, 1000, rand.New(rand.NewSource(3)))
+	// 1000/10 pitch = 100 per axis.
+	if got := plan.SignalCount(); got != 100*100 {
+		t.Fatalf("max density count %d", got)
+	}
+	g := plan.CuFractionMap(10, 10)
+	// Every cell must carry the same copper fraction.
+	first := g.At(0, 0)
+	for _, v := range g.Data {
+		if math.Abs(v-first) > 1e-9 {
+			t.Fatalf("max density not uniform: %v vs %v", v, first)
+		}
+	}
+}
+
+func TestIslandsAreDense(t *testing.T) {
+	plan := GeneratePattern(PatternIslands, 4000, 4000, rand.New(rand.NewSource(4)))
+	g := plan.DensityMap(16, 16)
+	// Islands: few cells hold many vias.
+	nonzero := 0
+	for _, v := range g.Data {
+		if v > 0 {
+			nonzero++
+		}
+	}
+	if nonzero > 16 {
+		t.Fatalf("islands spread over %d cells; expected concentration", nonzero)
+	}
+}
+
+func TestRegularLatticeDeterministic(t *testing.T) {
+	a := GeneratePattern(PatternIrregularPlusRegular, 4000, 4000, rand.New(rand.NewSource(5)))
+	b := GeneratePattern(PatternIrregularPlusRegular, 4000, 4000, rand.New(rand.NewSource(5)))
+	if len(a.TSVs) != len(b.TSVs) {
+		t.Fatal("same seed must reproduce the same plan")
+	}
+	for i := range a.TSVs {
+		if a.TSVs[i] != b.TSVs[i] {
+			t.Fatal("same seed must reproduce the same plan")
+		}
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	for _, p := range AllPatterns() {
+		if p.String() == "pattern?" {
+			t.Fatalf("pattern %d missing name", p)
+		}
+	}
+	if Signal.String() != "signal" || Dummy.String() != "dummy" {
+		t.Fatal("kind strings")
+	}
+}

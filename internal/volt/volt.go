@@ -1,0 +1,529 @@
+// Package volt implements the paper's floorplanning-centric voltage
+// assignment (Sec. 6.1): voltage volumes — the 3D generalization of voltage
+// domains, spanning dies — are grown by breadth-first search over spatially
+// adjacent modules, keeping track of the set of voltages feasible for every
+// member under the timing constraints; a selection pass then partitions the
+// design into volumes optimizing either for minimal power and volume count
+// (power-aware mode) or for uniform power densities within and across
+// volumes (TSC-aware mode).
+//
+// The three voltage options and their scalings are the paper's 90 nm values:
+// 0.8 V (0.817x power, 1.56x delay), 1.0 V (reference), and 1.2 V
+// (1.496x power, 0.83x delay).
+package volt
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/floorplan"
+	"repro/internal/timing"
+)
+
+// Level is one voltage option with its power and delay scaling.
+type Level struct {
+	V          float64
+	PowerScale float64
+	DelayScale float64
+}
+
+// Levels90nm are the paper's simulated options for the 90 nm node.
+func Levels90nm() []Level {
+	return []Level{
+		{V: 0.8, PowerScale: 0.817, DelayScale: 1.56},
+		{V: 1.0, PowerScale: 1.0, DelayScale: 1.0},
+		{V: 1.2, PowerScale: 1.496, DelayScale: 0.83},
+	}
+}
+
+// Mode selects the volume-selection objective.
+type Mode int
+
+const (
+	// PowerAware minimizes overall power and the number of volumes
+	// (the paper's baseline setup (i)).
+	PowerAware Mode = iota
+	// TSCAware minimizes the number of volumes and the standard deviation
+	// of power densities within and across volumes (setup (ii)).
+	TSCAware
+)
+
+// Config tunes the assignment.
+type Config struct {
+	Levels []Level
+	Mode   Mode
+	// TargetFactor relaxes the timing target: target = critical(1.0V) *
+	// TargetFactor. Default 1.15 — modules with slack may be slowed for
+	// power or uniformity.
+	TargetFactor float64
+	// MaxVolumeSize caps BFS growth (keeps volumes local; default 24).
+	MaxVolumeSize int
+	// DensityTolerance bounds, in TSC-aware mode, how far (relative to the
+	// design's mean power density) a neighbour's density may sit from the
+	// growing volume's mean before it is refused. Uniform volumes are the
+	// paper's objective (i); the refusal fragments the partition, which is
+	// why TSC-aware floorplanning ends up with many more volumes
+	// (Table 2: +87%). Default 0.5.
+	DensityTolerance float64
+}
+
+func (c *Config) defaults() {
+	if c.Levels == nil {
+		c.Levels = Levels90nm()
+	}
+	if c.TargetFactor == 0 {
+		c.TargetFactor = 1.15
+	}
+	if c.MaxVolumeSize == 0 {
+		c.MaxVolumeSize = 24
+	}
+	if c.DensityTolerance == 0 {
+		c.DensityTolerance = 0.5
+	}
+}
+
+// Volume is one selected voltage volume.
+type Volume struct {
+	Modules []int
+	Level   Level
+}
+
+// Assignment is the result of Assign.
+type Assignment struct {
+	Volumes []Volume
+	// LevelOf[m] is the selected level for module m.
+	LevelOf []Level
+	// PowerScale[m] and DelayScale[m] are the per-module scalings.
+	PowerScale []float64
+	DelayScale []float64
+	// TotalPower is the scaled design power in W.
+	TotalPower float64
+	// Target is the timing target used for feasibility, ns.
+	Target float64
+}
+
+// Assign computes voltage volumes for a placed layout. The timing analysis
+// must have been produced at the 1.0 V reference (delayScale nil).
+func Assign(l *floorplan.Layout, ref *timing.Analysis, cfg Config) *Assignment {
+	cfg.defaults()
+	n := len(l.Design.Modules)
+	target := ref.Critical * cfg.TargetFactor
+
+	// Feasible levels per module: level k is feasible if slowing (or
+	// speeding) only this module keeps its worst hop within target.
+	feasible := make([][]bool, n)
+	for m := 0; m < n; m++ {
+		feasible[m] = make([]bool, len(cfg.Levels))
+		base := math.Max(ref.Arrive[m], ref.Depart[m])
+		for k, lv := range cfg.Levels {
+			feasible[m][k] = base+ref.ModuleDelay[m]*lv.DelayScale <= target
+		}
+		// 1.0 V is always feasible by construction (it met the reference
+		// timing); guard against degenerate targets.
+		for k, lv := range cfg.Levels {
+			if lv.DelayScale == 1.0 {
+				feasible[m][k] = true
+			}
+		}
+	}
+
+	adj := l.AdjacentModules()
+	densities := make([]float64, n)
+	for m, mod := range l.Design.Modules {
+		densities[m] = mod.PowerDensity()
+	}
+	globalMeanDensity := meanOf(densities)
+
+	// grow builds one voltage-volume tree from root by BFS over adjacent
+	// modules (paper Sec. 6.1), adding at each step the neighbour that best
+	// fits the mode's objective while the feasible-set intersection stays
+	// non-empty. Modules marked in blocked are never added.
+	grow := func(root int, blocked []bool) ([]int, []bool) {
+		inVol := map[int]bool{root: true}
+		members := []int{root}
+		inter := append([]bool(nil), feasible[root]...)
+		frontier := append([]int(nil), adj[root]...)
+		for len(members) < cfg.MaxVolumeSize && len(frontier) > 0 {
+			bestIdx := -1
+			bestKey := math.Inf(1)
+			volDens := meanDensity(members, densities)
+			for fi, cand := range frontier {
+				if inVol[cand] || (blocked != nil && blocked[cand]) {
+					continue
+				}
+				ni := intersect(inter, feasible[cand])
+				if !any(ni) {
+					continue
+				}
+				var key float64
+				if cfg.Mode == TSCAware {
+					key = math.Abs(densities[cand] - volDens)
+					// Refuse neighbours that would break the volume's
+					// power-density uniformity.
+					if key > cfg.DensityTolerance*globalMeanDensity {
+						continue
+					}
+				} else {
+					// Power-aware: prefer modules that allow the lowest
+					// voltage (largest power saving).
+					key = -savingOf(cand, ni, cfg.Levels, l)
+				}
+				if key < bestKey {
+					bestKey, bestIdx = key, fi
+				}
+			}
+			if bestIdx < 0 {
+				break
+			}
+			pick := frontier[bestIdx]
+			frontier = append(frontier[:bestIdx], frontier[bestIdx+1:]...)
+			if inVol[pick] {
+				continue
+			}
+			inVol[pick] = true
+			inter = intersect(inter, feasible[pick])
+			members = append(members, pick)
+			for _, nb := range adj[pick] {
+				if !inVol[nb] {
+					frontier = append(frontier, nb)
+				}
+			}
+		}
+		return members, inter
+	}
+
+	// Candidate volumes: one BFS tree rooted at every module.
+	type candidate struct {
+		modules []int
+		levels  []bool // feasible intersection
+		score   float64
+	}
+	var candidates []candidate
+	for root := 0; root < n; root++ {
+		members, inter := grow(root, nil)
+		score := scoreVolume(members, inter, cfg, densities, globalMeanDensity, l)
+		candidates = append(candidates, candidate{
+			modules: append([]int(nil), members...),
+			levels:  inter,
+			score:   score,
+		})
+	}
+
+	// Greedy partition: best-scoring candidates first, skipping overlaps.
+	sort.SliceStable(candidates, func(a, b int) bool {
+		return candidates[a].score > candidates[b].score
+	})
+	asg := &Assignment{
+		LevelOf:    make([]Level, n),
+		PowerScale: make([]float64, n),
+		DelayScale: make([]float64, n),
+		Target:     target,
+	}
+	assigned := make([]bool, n)
+	addVolume := func(mods []int, levels []bool) {
+		lv := pickLevel(mods, levels, cfg, densities, globalMeanDensity, l)
+		vol := Volume{Level: lv}
+		for _, m := range mods {
+			vol.Modules = append(vol.Modules, m)
+			assigned[m] = true
+			asg.LevelOf[m] = lv
+			asg.PowerScale[m] = lv.PowerScale
+			asg.DelayScale[m] = lv.DelayScale
+		}
+		sort.Ints(vol.Modules)
+		asg.Volumes = append(asg.Volumes, vol)
+	}
+	for _, c := range candidates {
+		free := true
+		for _, m := range c.modules {
+			if assigned[m] {
+				free = false
+				break
+			}
+		}
+		if !free {
+			continue
+		}
+		addVolume(c.modules, c.levels)
+	}
+	// Leftovers (modules whose candidate volumes overlapped earlier picks)
+	// are re-grown among themselves so the partition stays coarse.
+	for m := 0; m < n; m++ {
+		if !assigned[m] {
+			mods, levels := grow(m, assigned)
+			addVolume(mods, levels)
+		}
+	}
+
+	for m, mod := range l.Design.Modules {
+		asg.TotalPower += mod.Power * asg.PowerScale[m]
+	}
+	return asg
+}
+
+// scoreVolume ranks a candidate for the greedy partition.
+func scoreVolume(mods []int, levels []bool, cfg Config, dens []float64, globalMean float64, l *floorplan.Layout) float64 {
+	size := float64(len(mods))
+	switch cfg.Mode {
+	case TSCAware:
+		// Prefer larger volumes of uniform density (low intra-volume
+		// spread), weighted toward the global mean (low inter-volume
+		// gradients).
+		sd := stdDensity(mods, dens)
+		meanD := meanDensity(mods, dens)
+		return size - 50*sd/(globalMean+1e-18) - 10*math.Abs(meanD-globalMean)/(globalMean+1e-18)
+	default:
+		// Power-aware: prefer volumes that can run at low voltage and are
+		// large (fewer volumes overall).
+		saving := 0.0
+		lv := lowestLevel(levels, cfg.Levels)
+		if lv != nil {
+			for _, m := range mods {
+				saving += l.Design.Modules[m].Power * (1 - lv.PowerScale)
+			}
+		}
+		return size + 100*saving
+	}
+}
+
+// pickLevel selects the volume's voltage from its feasible set.
+func pickLevel(mods []int, levels []bool, cfg Config, dens []float64, globalMean float64, l *floorplan.Layout) Level {
+	feas := feasibleLevels(levels, cfg.Levels)
+	if len(feas) == 0 {
+		// Fall back to the reference level.
+		for _, lv := range cfg.Levels {
+			if lv.DelayScale == 1.0 {
+				return lv
+			}
+		}
+		return cfg.Levels[0]
+	}
+	if cfg.Mode == PowerAware {
+		// Minimal power: lowest feasible voltage.
+		best := feas[0]
+		for _, lv := range feas[1:] {
+			if lv.PowerScale < best.PowerScale {
+				best = lv
+			}
+		}
+		return best
+	}
+	// TSC-aware: choose the level that moves the volume's power density
+	// closest to the global mean, smoothing inter-volume gradients — but
+	// penalize power-raising levels, since injecting extra power is exactly
+	// what the paper's approach avoids (its critique of the noise-injection
+	// prior art; Table 2 reports only +5.4% power for TSC-aware runs).
+	meanD := meanDensity(mods, dens)
+	score := func(lv Level) float64 {
+		gap := math.Abs(meanD*lv.PowerScale-globalMean) / (globalMean + 1e-18)
+		if lv.PowerScale > 1 {
+			gap += 5 * (lv.PowerScale - 1)
+		}
+		return gap
+	}
+	best := feas[0]
+	bestGap := score(best)
+	for _, lv := range feas[1:] {
+		if gap := score(lv); gap < bestGap {
+			best, bestGap = lv, gap
+		}
+	}
+	return best
+}
+
+// Verify recomputes timing with the assignment applied and reports whether
+// the scaled critical delay meets the target. Callers should bump volumes
+// to the reference level and re-verify on failure; Repair does this.
+func Verify(l *floorplan.Layout, asg *Assignment, p timing.Params) (*timing.Analysis, bool) {
+	a := timing.Analyze(l, asg.DelayScale, p)
+	return a, a.Critical <= asg.Target+1e-9
+}
+
+// Repair raises volumes to the 1.0 V reference, slowest-hop first, until the
+// scaled timing meets the target. Returns the final analysis.
+func Repair(l *floorplan.Layout, asg *Assignment, p timing.Params, cfg Config) *timing.Analysis {
+	cfg.defaults()
+	ref := refLevel(cfg.Levels)
+	for iter := 0; iter <= len(asg.Volumes); iter++ {
+		a, ok := Verify(l, asg, p)
+		if ok {
+			return a
+		}
+		// Find the volume containing the worst offender and reset it.
+		worst := a.WorstPaths(1)[0]
+		fixed := false
+		for vi := range asg.Volumes {
+			for _, m := range asg.Volumes[vi].Modules {
+				if m == worst && asg.Volumes[vi].Level.DelayScale > 1.0 {
+					asg.setVolumeLevel(vi, ref, l)
+					fixed = true
+					break
+				}
+			}
+			if fixed {
+				break
+			}
+		}
+		if !fixed {
+			// Offender already at (or faster than) reference: timing is
+			// limited by the floorplan, not the assignment.
+			return a
+		}
+	}
+	a, _ := Verify(l, asg, p)
+	return a
+}
+
+func (asg *Assignment) setVolumeLevel(vi int, lv Level, l *floorplan.Layout) {
+	asg.Volumes[vi].Level = lv
+	for _, m := range asg.Volumes[vi].Modules {
+		old := asg.PowerScale[m]
+		asg.LevelOf[m] = lv
+		asg.PowerScale[m] = lv.PowerScale
+		asg.DelayScale[m] = lv.DelayScale
+		asg.TotalPower += l.Design.Modules[m].Power * (lv.PowerScale - old)
+	}
+}
+
+// IntraVolumeDensityStdDev returns the average within-volume power-density
+// standard deviation — the paper's uniformity objective (i).
+func (asg *Assignment) IntraVolumeDensityStdDev(l *floorplan.Layout) float64 {
+	dens := make([]float64, len(l.Design.Modules))
+	for m, mod := range l.Design.Modules {
+		dens[m] = mod.PowerDensity() * asg.PowerScale[m]
+	}
+	s, cnt := 0.0, 0
+	for _, v := range asg.Volumes {
+		if len(v.Modules) < 2 {
+			continue
+		}
+		s += stdDensity(v.Modules, dens)
+		cnt++
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return s / float64(cnt)
+}
+
+// InterVolumeDensityStdDev returns the standard deviation of per-volume mean
+// power densities — the paper's gradient objective (ii).
+func (asg *Assignment) InterVolumeDensityStdDev(l *floorplan.Layout) float64 {
+	dens := make([]float64, len(l.Design.Modules))
+	for m, mod := range l.Design.Modules {
+		dens[m] = mod.PowerDensity() * asg.PowerScale[m]
+	}
+	means := make([]float64, 0, len(asg.Volumes))
+	for _, v := range asg.Volumes {
+		means = append(means, meanDensity(v.Modules, dens))
+	}
+	return stdOf(means)
+}
+
+// --- helpers -----------------------------------------------------------------
+
+func intersect(a, b []bool) []bool {
+	out := make([]bool, len(a))
+	for i := range a {
+		out[i] = a[i] && b[i]
+	}
+	return out
+}
+
+func any(b []bool) bool {
+	for _, v := range b {
+		if v {
+			return true
+		}
+	}
+	return false
+}
+
+func feasibleLevels(mask []bool, levels []Level) []Level {
+	var out []Level
+	for i, ok := range mask {
+		if ok {
+			out = append(out, levels[i])
+		}
+	}
+	return out
+}
+
+func lowestLevel(mask []bool, levels []Level) *Level {
+	var best *Level
+	for i, ok := range mask {
+		if !ok {
+			continue
+		}
+		if best == nil || levels[i].PowerScale < best.PowerScale {
+			lv := levels[i]
+			best = &lv
+		}
+	}
+	return best
+}
+
+func refLevel(levels []Level) Level {
+	for _, lv := range levels {
+		if lv.DelayScale == 1.0 {
+			return lv
+		}
+	}
+	return levels[0]
+}
+
+func savingOf(m int, mask []bool, levels []Level, l *floorplan.Layout) float64 {
+	lv := lowestLevel(mask, levels)
+	if lv == nil {
+		return 0
+	}
+	return l.Design.Modules[m].Power * (1 - lv.PowerScale)
+}
+
+func meanDensity(mods []int, dens []float64) float64 {
+	if len(mods) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, m := range mods {
+		s += dens[m]
+	}
+	return s / float64(len(mods))
+}
+
+func stdDensity(mods []int, dens []float64) float64 {
+	if len(mods) < 2 {
+		return 0
+	}
+	mean := meanDensity(mods, dens)
+	ss := 0.0
+	for _, m := range mods {
+		d := dens[m] - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(mods)))
+}
+
+func meanOf(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+func stdOf(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	mean := meanOf(v)
+	ss := 0.0
+	for _, x := range v {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(v)))
+}

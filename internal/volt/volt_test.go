@@ -1,0 +1,196 @@
+package volt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/floorplan"
+	"repro/internal/timing"
+)
+
+func layoutAndRef(t *testing.T, name string, seed int64) (*floorplan.Layout, *timing.Analysis) {
+	t.Helper()
+	des := bench.MustGenerate(name)
+	l := floorplan.NewRandom(des, rand.New(rand.NewSource(seed))).Pack()
+	return l, timing.Analyze(l, nil, timing.DefaultParams())
+}
+
+func TestLevels90nmMatchPaper(t *testing.T) {
+	ls := Levels90nm()
+	if len(ls) != 3 {
+		t.Fatal("need 3 levels")
+	}
+	if ls[0].V != 0.8 || ls[0].PowerScale != 0.817 || ls[0].DelayScale != 1.56 {
+		t.Fatalf("0.8V level wrong: %+v", ls[0])
+	}
+	if ls[1].V != 1.0 || ls[1].PowerScale != 1.0 || ls[1].DelayScale != 1.0 {
+		t.Fatalf("1.0V level wrong: %+v", ls[1])
+	}
+	if ls[2].V != 1.2 || ls[2].PowerScale != 1.496 || ls[2].DelayScale != 0.83 {
+		t.Fatalf("1.2V level wrong: %+v", ls[2])
+	}
+}
+
+func TestAssignCoversEveryModule(t *testing.T) {
+	l, ref := layoutAndRef(t, "n100", 1)
+	asg := Assign(l, ref, Config{Mode: PowerAware})
+	covered := make([]bool, len(l.Design.Modules))
+	for _, v := range asg.Volumes {
+		for _, m := range v.Modules {
+			if covered[m] {
+				t.Fatalf("module %d in two volumes", m)
+			}
+			covered[m] = true
+		}
+	}
+	for m, ok := range covered {
+		if !ok {
+			t.Fatalf("module %d not assigned", m)
+		}
+	}
+}
+
+func TestAssignScalesConsistent(t *testing.T) {
+	l, ref := layoutAndRef(t, "n100", 2)
+	asg := Assign(l, ref, Config{Mode: PowerAware})
+	for m := range l.Design.Modules {
+		lv := asg.LevelOf[m]
+		if asg.PowerScale[m] != lv.PowerScale || asg.DelayScale[m] != lv.DelayScale {
+			t.Fatalf("module %d scales inconsistent with level", m)
+		}
+	}
+}
+
+func TestPowerAwareSavesPower(t *testing.T) {
+	l, ref := layoutAndRef(t, "n100", 3)
+	asg := Assign(l, ref, Config{Mode: PowerAware})
+	nominal := l.Design.TotalPower()
+	if asg.TotalPower > nominal {
+		t.Fatalf("power-aware assignment must not raise power: %v vs %v", asg.TotalPower, nominal)
+	}
+	// With a relaxed target (+15%) some modules must drop to 0.8 V.
+	low := 0
+	for m := range l.Design.Modules {
+		if asg.LevelOf[m].V == 0.8 {
+			low++
+		}
+	}
+	if low == 0 {
+		t.Fatal("expected some modules at 0.8V under a relaxed target")
+	}
+}
+
+func TestTSCAwareMoreVolumes(t *testing.T) {
+	// The paper reports 87% more voltage volumes in TSC-aware mode: the
+	// uniformity objective fragments the partition. Direction must hold.
+	l, ref := layoutAndRef(t, "n100", 4)
+	pa := Assign(l, ref, Config{Mode: PowerAware})
+	tsc := Assign(l, ref, Config{Mode: TSCAware})
+	if len(tsc.Volumes) <= len(pa.Volumes) {
+		t.Fatalf("TSC-aware should use more volumes: %d vs %d", len(tsc.Volumes), len(pa.Volumes))
+	}
+}
+
+func TestTSCAwareLowerIntraVolumeSpread(t *testing.T) {
+	l, ref := layoutAndRef(t, "n100", 5)
+	pa := Assign(l, ref, Config{Mode: PowerAware})
+	tsc := Assign(l, ref, Config{Mode: TSCAware})
+	if tsc.IntraVolumeDensityStdDev(l) > pa.IntraVolumeDensityStdDev(l) {
+		t.Fatalf("TSC-aware intra-volume spread %v should not exceed PA %v",
+			tsc.IntraVolumeDensityStdDev(l), pa.IntraVolumeDensityStdDev(l))
+	}
+}
+
+func TestRepairMeetsTargetOrIdentifiesFloorplanLimit(t *testing.T) {
+	l, ref := layoutAndRef(t, "n100", 6)
+	cfg := Config{Mode: PowerAware}
+	asg := Assign(l, ref, cfg)
+	a := Repair(l, asg, timing.DefaultParams(), cfg)
+	if a.Critical > asg.Target+1e-9 {
+		// Only acceptable if no volume below reference remains.
+		for _, v := range asg.Volumes {
+			if v.Level.DelayScale > 1.0 {
+				t.Fatalf("repair left slow volume while timing fails: %v > %v", a.Critical, asg.Target)
+			}
+		}
+	}
+}
+
+func TestVerifyAgreesWithTiming(t *testing.T) {
+	l, ref := layoutAndRef(t, "n100", 7)
+	asg := Assign(l, ref, Config{Mode: PowerAware})
+	a, ok := Verify(l, asg, timing.DefaultParams())
+	if ok != (a.Critical <= asg.Target+1e-9) {
+		t.Fatal("verify flag inconsistent")
+	}
+}
+
+func TestFeasibilityRespectsTightTarget(t *testing.T) {
+	// With a barely-relaxed target, no module on the critical hop can run
+	// at 0.8 V (1.56x delay would blow the hop).
+	l, ref := layoutAndRef(t, "n100", 8)
+	asg := Assign(l, ref, Config{Mode: PowerAware, TargetFactor: 1.001})
+	worst := ref.WorstPaths(1)[0]
+	if asg.LevelOf[worst].V == 0.8 {
+		t.Fatal("critical module assigned 0.8V under tight target")
+	}
+	a := Repair(l, asg, timing.DefaultParams(), Config{Mode: PowerAware, TargetFactor: 1.001})
+	slackViolation := a.Critical - asg.Target
+	if slackViolation > 0.05*asg.Target {
+		t.Fatalf("repaired timing %v far above target %v", a.Critical, asg.Target)
+	}
+}
+
+func TestSingletonFallback(t *testing.T) {
+	// Every module must be assigned even with MaxVolumeSize 1.
+	l, ref := layoutAndRef(t, "n100", 9)
+	asg := Assign(l, ref, Config{Mode: PowerAware, MaxVolumeSize: 1})
+	if len(asg.Volumes) != len(l.Design.Modules) {
+		t.Fatalf("expected all singleton volumes, got %d", len(asg.Volumes))
+	}
+}
+
+func TestInterVolumeStdDevNonNegative(t *testing.T) {
+	l, ref := layoutAndRef(t, "n100", 10)
+	for _, mode := range []Mode{PowerAware, TSCAware} {
+		asg := Assign(l, ref, Config{Mode: mode})
+		if asg.InterVolumeDensityStdDev(l) < 0 {
+			t.Fatal("negative stddev")
+		}
+	}
+}
+
+func TestAssignDeterministic(t *testing.T) {
+	l, ref := layoutAndRef(t, "n100", 11)
+	a := Assign(l, ref, Config{Mode: TSCAware})
+	b := Assign(l, ref, Config{Mode: TSCAware})
+	if len(a.Volumes) != len(b.Volumes) {
+		t.Fatal("volume count differs between identical runs")
+	}
+	if math.Abs(a.TotalPower-b.TotalPower) > 1e-12 {
+		t.Fatal("total power differs between identical runs")
+	}
+}
+
+func TestVolumesSpanDies(t *testing.T) {
+	// Voltage volumes are 3D: at least one multi-module volume should span
+	// both dies on a benchmark of this size (vertical adjacency links).
+	l, ref := layoutAndRef(t, "n100", 12)
+	asg := Assign(l, ref, Config{Mode: PowerAware})
+	spans := false
+	for _, v := range asg.Volumes {
+		dies := map[int]bool{}
+		for _, m := range v.Modules {
+			dies[l.DieOf[m]] = true
+		}
+		if len(dies) > 1 {
+			spans = true
+			break
+		}
+	}
+	if !spans {
+		t.Fatal("no volume spans dies; 3D volume growth broken")
+	}
+}
