@@ -6,15 +6,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
-	"sort"
+	"os"
+	"os/signal"
 
 	"repro/internal/attack"
-	"repro/internal/bench"
-	"repro/internal/core"
+	"repro/tscfp"
 )
 
 func main() {
@@ -31,31 +32,29 @@ func main() {
 	)
 	flag.Parse()
 
-	des := bench.MustGenerate(*benchName)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	design := tscfp.MustBenchmark(*benchName)
 	sensors := attack.Sensors{N: *sensorsN, NoiseK: *noise}
 
-	for _, mode := range []core.Mode{core.PowerAware, core.TSCAware} {
-		res, err := core.Run(des, core.Config{
-			Mode: mode, GridN: *grid, SAIterations: *iters,
-			ActivitySamples: 50, Seed: *seed,
-		})
+	// Attack the hottest modules (the natural targets: security modules in
+	// our benchmarks carry elevated power density).
+	tgt := design.HottestModules(*targets)
+
+	for _, mode := range []tscfp.Mode{tscfp.PowerAware, tscfp.TSCAware} {
+		res, err := tscfp.Run(ctx, design,
+			tscfp.WithMode(mode),
+			tscfp.WithGridN(*grid),
+			tscfp.WithIterations(*iters),
+			tscfp.WithActivitySamples(50),
+			tscfp.WithSeed(*seed))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\n=== %s floorplan (r1=%.3f r2=%.3f) ===\n", mode, res.Metrics.R1, res.Metrics.R2)
 
-		// Attack the hottest modules (the natural targets: security modules
-		// in our benchmarks carry elevated power density).
-		order := make([]int, len(des.Modules))
-		for i := range order {
-			order[i] = i
-		}
-		sort.Slice(order, func(a, b int) bool {
-			return res.Design.Modules[order[a]].Power > res.Design.Modules[order[b]].Power
-		})
-		tgt := order[:*targets]
-
-		dev := attack.NewDevice(res, sensors, *seed)
+		dev := attack.NewDevice(res.Core(), sensors, *seed)
 		st := attack.LocalizeAll(dev, tgt, attack.LocalizeOptions{})
 		fmt.Printf("localization: hit rate %.2f, die rate %.2f, mean error %.0f um (%d targets)\n",
 			st.HitRate, st.DieRate, st.MeanError, len(tgt))
@@ -76,13 +75,13 @@ func main() {
 		tx := tgt[0]
 		rx := -1
 		for _, m := range tgt[1:] {
-			if res.Layout.DieOf[m] == res.Layout.DieOf[tx] {
+			if res.Modules[m].Die == res.Modules[tx].Die {
 				rx = m
 				break
 			}
 		}
 		if rx >= 0 {
-			cv := attack.CovertChannel(res, tx, rx, attack.CovertOptions{Bits: 24}, rng)
+			cv := attack.CovertChannel(res.Core(), tx, rx, attack.CovertOptions{Bits: 24}, rng)
 			fmt.Printf("covert channel %d -> %d: BER %.3f at %.0f ms/bit, %.1f bit/s capacity\n",
 				cv.Transmitter, cv.Receiver, cv.BER, cv.BitPeriodS*1e3, cv.ThroughputBPS)
 		}

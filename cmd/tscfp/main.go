@@ -1,23 +1,24 @@
 // Command tscfp floorplans one of the paper's benchmarks in power-aware or
 // TSC-aware mode and prints a Table-2-style report: leakage metrics (S1, S2,
 // r1, r2) and design cost (power, critical delay, wirelength, peak
-// temperature, TSV and voltage-volume counts, runtime).
+// temperature, TSV and voltage-volume counts, runtime). Multiple runs fan
+// out over the tscfp.Sweep worker pool.
 //
 // Usage:
 //
 //	tscfp -bench n100 -mode tsc -runs 3 -iters 3000
-//	tscfp -bench ibm01 -mode pa
+//	tscfp -bench ibm01 -mode pa -runs 8 -workers 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
-	"repro/internal/bench"
-	"repro/internal/core"
-	"repro/internal/report"
+	"repro/tscfp"
 )
 
 func main() {
@@ -28,70 +29,80 @@ func main() {
 		benchName = flag.String("bench", "n100", "benchmark name (n100 n200 n300 ibm01 ibm03 ibm07)")
 		mode      = flag.String("mode", "tsc", "floorplanning mode: pa (power-aware) or tsc (TSC-aware)")
 		runs      = flag.Int("runs", 1, "independent floorplanning runs to average")
+		workers   = flag.Int("workers", 1, "concurrent runs (0 = one per CPU)")
 		iters     = flag.Int("iters", 3000, "simulated-annealing iterations per run")
 		grid      = flag.Int("grid", 32, "thermal/leakage grid resolution per axis")
 		samples   = flag.Int("samples", 100, "activity samples for correlation stability (Eq. 2)")
 		seed      = flag.Int64("seed", 1, "base random seed (run k uses seed+k)")
-		jsonOut   = flag.String("json", "", "write the last run's full report to this JSON file")
+		jsonOut   = flag.String("json", "", "write the last run's full result to this JSON file")
 		maps      = flag.Bool("maps", false, "print ASCII heatmaps of the last run's power/thermal maps")
 		showFP    = flag.Bool("floorplan", false, "print an ASCII rendering of the last run's floorplan")
 		protect   = flag.Bool("protect", false, "post-process only the sensitive modules (Sec. 7.1 adaptation)")
 	)
 	flag.Parse()
 
-	spec, err := bench.ByName(*benchName)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	design, err := tscfp.Benchmark(*benchName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	des, err := bench.Generate(spec)
+	m, err := tscfp.ParseMode(*mode)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	var m core.Mode
-	switch *mode {
-	case "pa":
-		m = core.PowerAware
-	case "tsc":
-		m = core.TSCAware
-	default:
-		log.Fatalf("unknown mode %q (want pa or tsc)", *mode)
+	if *runs < 1 {
+		log.Fatalf("-runs must be >= 1, got %d", *runs)
 	}
 
+	ow, oh := design.Outline()
 	fmt.Printf("benchmark %s: %d modules (%d hard / %d soft), %d nets, %d terminals, %.2f mm^2/die, %.2f W @1.0V\n",
-		des.Name, len(des.Modules), des.HardCount(), des.SoftCount(),
-		len(des.Nets), len(des.Terminals), des.OutlineW*des.OutlineH/1e6, des.TotalPower())
+		design.Name(), design.NumModules(), design.HardModules(), design.SoftModules(),
+		design.NumNets(), design.NumTerminals(), ow*oh/1e6, design.TotalPower())
 	fmt.Printf("mode %s, %d run(s), %d SA iterations, %dx%d grid\n\n", m, *runs, *iters, *grid, *grid)
 
-	var protectList []int
+	opts := []tscfp.Option{
+		tscfp.WithGridN(*grid),
+		tscfp.WithIterations(*iters),
+		tscfp.WithActivitySamples(*samples),
+	}
 	if *protect {
-		for mi, mod := range des.Modules {
-			if mod.Sensitive {
-				protectList = append(protectList, mi)
-			}
-		}
-		fmt.Printf("protecting %d sensitive modules\n", len(protectList))
+		sensitive := design.SensitiveModules()
+		fmt.Printf("protecting %d sensitive modules\n", len(sensitive))
+		opts = append(opts, tscfp.WithProtectedModules(sensitive...))
 	}
 
-	var agg core.Metrics
-	var last *core.Result
-	for k := 0; k < *runs; k++ {
-		res, err := core.Run(des, core.Config{
-			Mode:            m,
-			GridN:           *grid,
-			SAIterations:    *iters,
-			ActivitySamples: *samples,
-			Seed:            *seed + int64(k),
-			ProtectModules:  protectList,
-		})
-		if err != nil {
-			log.Fatal(err)
+	seeds := make([]int64, *runs)
+	for k := range seeds {
+		seeds[k] = *seed + int64(k)
+	}
+	// Stream prints each run as it completes instead of buffering the
+	// whole campaign; -json/-maps/-floorplan refer to the last grid cell.
+	results, err := tscfp.Stream(ctx, tscfp.Grid{
+		Design:  design,
+		Seeds:   seeds,
+		Modes:   []tscfp.Mode{m},
+		Options: opts,
+	}, tscfp.WithWorkers(*workers))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var agg tscfp.Metrics
+	var last *tscfp.Result
+	lastIndex := -1
+	for sr := range results {
+		if sr.Err != nil {
+			log.Fatal(sr.Err)
 		}
-		last = res
-		mm := res.Metrics
+		if sr.Cell.Index > lastIndex {
+			last, lastIndex = sr.Result, sr.Cell.Index
+		}
+		mm := sr.Result.Metrics
 		fmt.Printf("run %d: S1=%.3f S2=%.3f r1=%.3f r2=%.3f power=%.3fW delay=%.3fns wl=%.3fm peak=%.2fK sTSV=%d dTSV=%d vol=%d legal=%v %.1fs\n",
-			k, mm.S1, mm.S2, mm.R1, mm.R2, mm.PowerW, mm.CriticalNS, mm.WirelengthM,
-			mm.PeakTempK, mm.SignalTSVs, mm.DummyTSVs, mm.VoltageVolumes, res.Layout.Legal(), mm.RuntimeSec)
+			sr.Cell.Index, mm.S1, mm.S2, mm.R1, mm.R2, mm.PowerW, mm.CriticalNS, mm.WirelengthM,
+			mm.PeakTempK, mm.SignalTSVs, mm.DummyTSVs, mm.VoltageVolumes, sr.Result.Legal, mm.RuntimeSec)
 		agg.S1 += mm.S1
 		agg.S2 += mm.S2
 		agg.R1 += mm.R1
@@ -106,7 +117,7 @@ func main() {
 		agg.RuntimeSec += mm.RuntimeSec
 	}
 	n := float64(*runs)
-	fmt.Printf("\naverages over %d run(s) (%s, %s):\n", *runs, des.Name, m)
+	fmt.Printf("\naverages over %d run(s) (%s, %s):\n", *runs, design.Name(), m)
 	w := func(label string, v float64) { fmt.Fprintf(os.Stdout, "  %-24s %10.3f\n", label, v) }
 	w("spatial entropy S1", agg.S1/n)
 	w("spatial entropy S2", agg.S2/n)
@@ -123,22 +134,28 @@ func main() {
 
 	if *showFP && last != nil {
 		fmt.Println()
-		for d := 0; d < last.Layout.Dies; d++ {
-			fmt.Print(report.RenderFloorplan(last.Layout, d, 64))
+		for d := 0; d < last.Dies; d++ {
+			fmt.Print(last.FloorplanASCII(d, 64))
 		}
 	}
 	if *maps && last != nil {
-		for d := 0; d < last.Layout.Dies; d++ {
-			fmt.Printf("\ndie %d power map (TSVs overlaid):\n%s", d,
-				report.HeatmapWithTSVs(last.PowerMaps[d], last.TSVs))
-			fmt.Printf("\ndie %d thermal map:\n%s", d, report.Heatmap(last.TempMaps[d]))
+		for d := 0; d < last.Dies; d++ {
+			pm, err := last.PowerHeatmap(d)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tm, err := last.TempHeatmap(d)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\ndie %d power map (TSVs overlaid):\n%s", d, pm)
+			fmt.Printf("\ndie %d thermal map:\n%s", d, tm)
 		}
 	}
 	if *jsonOut != "" && last != nil {
-		rep := report.FromResult(last, m.String())
-		if err := rep.WriteJSON(*jsonOut); err != nil {
+		if err := last.WriteJSONFile(*jsonOut); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\nreport written to %s\n", *jsonOut)
+		fmt.Printf("\nresult written to %s\n", *jsonOut)
 	}
 }

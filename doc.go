@@ -2,6 +2,20 @@
 // ICs: Decorrelating Thermal Patterns from Power and Activity" (Knechtel &
 // Sinanoglu, DAC 2017) as a self-contained Go library.
 //
+// The public entry point is the repro/tscfp package: tscfp.NewFlow binds a
+// design to functional options (mode, seed, annealing budget, grid
+// resolution, dummy-TSV post-processing, progress callbacks), Flow.Run(ctx)
+// executes the full TSC-aware floorplanning flow with cooperative
+// cancellation, and tscfp.Sweep fans a parameter grid (seeds × modes × grid
+// sizes) out over a worker pool. Results and designs serialize to stable
+// JSON; the same design, seed, and options reproduce a Result
+// byte-identically.
+//
+//	design, _ := tscfp.Benchmark("n100")
+//	res, err := tscfp.Run(ctx, design,
+//		tscfp.WithMode(tscfp.TSCAware),
+//		tscfp.WithSeed(1))
+//
 // The implementation lives under internal/: the TSC-aware floorplanning
 // flow (internal/core) on top of a corner-sequence floorplanner
 // (internal/floorplan, internal/anneal), a HotSpot-class thermal solver
@@ -12,6 +26,6 @@
 // (internal/bench).
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
-// paper's evaluation; see DESIGN.md for the experiment index and
-// EXPERIMENTS.md for paper-vs-measured results.
+// paper's evaluation; the cmd/ binaries (tscfp, attacksim, thermalmap) and
+// the examples/ walk through the experiments interactively.
 package repro

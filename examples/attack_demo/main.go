@@ -11,39 +11,38 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
 	"repro/internal/attack"
-	"repro/internal/bench"
-	"repro/internal/core"
+	"repro/tscfp"
 )
 
 func main() {
 	log.SetFlags(0)
-	design := bench.MustGenerate("n100")
+	design := tscfp.MustBenchmark("n100")
 
 	// The benchmark marks ~5% of modules as security-critical (crypto-like,
 	// elevated power density) — those are the attack targets.
-	var targets []int
-	for mi, m := range design.Modules {
-		if m.Sensitive {
-			targets = append(targets, mi)
-		}
-	}
-	fmt.Printf("attacking %d sensitive modules of %s\n", len(targets), design.Name)
+	targets := design.SensitiveModules()
+	fmt.Printf("attacking %d sensitive modules of %s\n", len(targets), design.Name())
 
 	sensors := attack.DefaultSensors()
-	for _, mode := range []core.Mode{core.PowerAware, core.TSCAware} {
-		res, err := core.Run(design, core.Config{
-			Mode: mode, SAIterations: 1500, ActivitySamples: 50, Seed: 7,
-		})
+	for _, mode := range []tscfp.Mode{tscfp.PowerAware, tscfp.TSCAware} {
+		res, err := tscfp.Run(context.Background(), design,
+			tscfp.WithMode(mode),
+			tscfp.WithIterations(1500),
+			tscfp.WithActivitySamples(50),
+			tscfp.WithSeed(7))
 		if err != nil {
 			log.Fatal(err)
 		}
 
-		dev := attack.NewDevice(res, sensors, 7)
+		// The attack toolkit consumes the live flow result behind the
+		// public snapshot.
+		dev := attack.NewDevice(res.Core(), sensors, 7)
 		loc := attack.LocalizeAll(dev, targets, attack.LocalizeOptions{})
 		rng := rand.New(rand.NewSource(77))
 		ch := attack.Characterize(dev, targets, 5, rng)

@@ -14,31 +14,38 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 
-	"repro/internal/bench"
-	"repro/internal/core"
 	"repro/internal/noiseinject"
+	"repro/tscfp"
 )
 
 func main() {
 	log.SetFlags(0)
-	design := bench.MustGenerate("n100")
+	design := tscfp.MustBenchmark("n100")
 
-	pa, err := core.Run(design, core.Config{
-		Mode: core.PowerAware, SAIterations: 1500, ActivitySamples: 40, Seed: 5,
-	})
+	// Both floorplans run concurrently on the sweep worker pool.
+	results, err := tscfp.Sweep(context.Background(), tscfp.Grid{
+		Design: design,
+		Seeds:  []int64{5},
+		Modes:  []tscfp.Mode{tscfp.PowerAware, tscfp.TSCAware},
+		Options: []tscfp.Option{
+			tscfp.WithIterations(1500),
+			tscfp.WithActivitySamples(40),
+		},
+	}, tscfp.WithWorkers(2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	tsc, err := core.Run(design, core.Config{
-		Mode: core.TSCAware, SAIterations: 1500, ActivitySamples: 40, Seed: 5,
-	})
-	if err != nil {
-		log.Fatal(err)
+	for _, sr := range results {
+		if sr.Err != nil {
+			log.Fatal(sr.Err)
+		}
 	}
+	pa, tsc := results[0].Result, results[1].Result
 
 	fmt.Printf("%-30s %8s %10s %10s\n", "countermeasure", "|r1|", "power[W]", "peak[K]")
 	fmt.Printf("%-30s %8.3f %10.3f %10.2f\n", "none (power-aware baseline)",
@@ -46,7 +53,7 @@ func main() {
 
 	ctl := noiseinject.Controller{}
 	for _, alpha := range []float64{0.1, 0.25, 0.5, 1.0} {
-		r := ctl.Smooth(pa, alpha)
+		r := ctl.Smooth(pa.Core(), alpha)
 		fmt.Printf("noise injection alpha=%-8.2f %8.3f %10.3f %10.2f\n",
 			alpha, math.Abs(r.R[0]), pa.Metrics.PowerW+r.InjectedW, r.PeakTempK)
 	}

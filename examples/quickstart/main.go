@@ -1,5 +1,6 @@
-// Quickstart: floorplan the n100 benchmark with the TSC-aware flow and
-// print the leakage report — the minimal end-to-end use of the library.
+// Quickstart: floorplan the n100 benchmark with the TSC-aware flow through
+// the public tscfp API and print the leakage report — the minimal
+// end-to-end use of the library.
 //
 // Run with:
 //
@@ -7,31 +8,39 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
-	"repro/internal/bench"
-	"repro/internal/core"
+	"repro/tscfp"
 )
 
 func main() {
 	log.SetFlags(0)
 
-	// 1. Load a benchmark (Table 1 of the paper). Any block-level
-	//    netlist.Design works; bench synthesizes the paper's six.
-	design := bench.MustGenerate("n100")
+	// 1. Load a benchmark (Table 1 of the paper). Any JSON-decoded
+	//    tscfp.Design works; Benchmark synthesizes the paper's six.
+	design := tscfp.MustBenchmark("n100")
 	fmt.Printf("design %s: %d modules, %d nets, %.1f W nominal\n",
-		design.Name, len(design.Modules), len(design.Nets), design.TotalPower())
+		design.Name(), design.NumModules(), design.NumNets(), design.TotalPower())
 
-	// 2. Run the TSC-aware floorplanning flow. The zero-value knobs select
-	//    the paper-equivalent defaults; a short annealing budget keeps this
-	//    example under a minute.
-	result, err := core.Run(design, core.Config{
-		Mode:            core.TSCAware,
-		SAIterations:    1500,
-		ActivitySamples: 50,
-		Seed:            1,
-	})
+	// 2. Run the TSC-aware floorplanning flow. Unset options select the
+	//    paper-equivalent defaults; a short annealing budget keeps this
+	//    example under a minute. The context cancels the run cooperatively
+	//    (annealing moves, solver sweeps) if you wire it to a signal.
+	result, err := tscfp.Run(context.Background(), design,
+		tscfp.WithMode(tscfp.TSCAware),
+		tscfp.WithIterations(1500),
+		tscfp.WithActivitySamples(50),
+		tscfp.WithSeed(1),
+		tscfp.WithProgress(func(ev tscfp.Event) {
+			// Anneal events arrive at chain boundaries (every iters/50
+			// moves), so gate on a multiple of that stride.
+			if ev.Stage == tscfp.StageAnneal && ev.Done > 0 && ev.Done%300 == 0 {
+				fmt.Printf("  annealing %d/%d (best cost %.3f)\n", ev.Done, ev.Total, ev.Cost)
+			}
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,5 +58,17 @@ func main() {
 		m.PowerW, m.CriticalNS, m.WirelengthM)
 	fmt.Printf("  peak temperature %.1f K, %d signal TSVs, %d voltage volumes\n",
 		m.PeakTempK, m.SignalTSVs, m.VoltageVolumes)
-	fmt.Printf("  outline legal: %v, runtime %.1f s\n", result.Layout.Legal(), m.RuntimeSec)
+	fmt.Printf("  outline legal: %v, runtime %.1f s\n", result.Legal, m.RuntimeSec)
+
+	// 4. Serialize for downstream tooling: the Result round-trips through
+	//    JSON, and the same seed + options reproduce it byte-identically.
+	data, err := result.JSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := "quickstart_result.json"
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfull result written to %s (%d bytes)\n", path, len(data))
 }

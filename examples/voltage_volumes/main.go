@@ -14,14 +14,14 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/bench"
 	"repro/internal/floorplan"
 	"repro/internal/timing"
 	"repro/internal/volt"
+	"repro/tscfp"
 )
 
 func main() {
-	design := bench.MustGenerate("ibm01")
+	design := tscfp.MustBenchmark("ibm01").Netlist()
 	rng := rand.New(rand.NewSource(3))
 	layout := floorplan.NewRandom(design, rng).Pack()
 

@@ -7,6 +7,7 @@
 package anneal
 
 import (
+	"context"
 	"math"
 	"math/rand"
 )
@@ -38,6 +39,14 @@ type Options struct {
 	// OnBest, when non-nil, is invoked whenever a new best cost is seen;
 	// the callee should snapshot the state.
 	OnBest func(cost float64)
+	// OnChain, when non-nil, is invoked after every completed temperature
+	// chain with the number of proposed moves so far, the total budget, and
+	// the best cost seen — the hook driving progress reporting.
+	OnChain func(done, total int, best float64)
+	// Ctx, when non-nil, is polled between moves; when it is cancelled the
+	// search stops early and Result.Cancelled is set. The state still holds
+	// whatever the walk last accepted, and OnBest snapshots remain valid.
+	Ctx context.Context
 }
 
 func (o *Options) defaults() {
@@ -75,6 +84,8 @@ type Result struct {
 	FinalCost  float64
 	StartTemp  float64
 	FinalTemp  float64
+	// Cancelled reports that Options.Ctx was done before the budget ran out.
+	Cancelled bool
 }
 
 // Run anneals the problem. The caller's OnBest hook is responsible for
@@ -88,6 +99,9 @@ func Run(p Problem, opts Options, rng *rand.Rand) Result {
 	meanDelta := 0.0
 	walked := 0
 	for i := 0; i < opts.CalibrationMoves; i++ {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			break
+		}
 		undo := mustPerturb(p, rng)
 		c := p.Cost()
 		meanDelta += math.Abs(c - cur)
@@ -107,6 +121,10 @@ func Run(p Problem, opts Options, rng *rand.Rand) Result {
 		opts.OnBest(cur)
 	}
 	for it := 0; it < opts.Iterations; it++ {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			res.Cancelled = true
+			break
+		}
 		undo := mustPerturb(p, rng)
 		c := p.Cost()
 		delta := c - cur
@@ -131,6 +149,9 @@ func Run(p Problem, opts Options, rng *rand.Rand) Result {
 		}
 		if (it+1)%opts.ChainLength == 0 {
 			temp *= opts.Alpha
+			if opts.OnChain != nil {
+				opts.OnChain(it+1, opts.Iterations, res.BestCost)
+			}
 		}
 		res.Iterations++
 	}

@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -118,4 +119,40 @@ type flat struct{}
 func (f *flat) Cost() float64 { return 1 }
 func (f *flat) Perturb(rng *rand.Rand) func() {
 	return func() {}
+}
+
+// TestRunCancellation checks the Ctx contract: a context cancelled mid-walk
+// stops the search early, marks Result.Cancelled, and leaves the best-seen
+// bookkeeping intact.
+func TestRunCancellation(t *testing.T) {
+	q := &quadratic{x: make([]float64, 8), target: 3, step: 0.5}
+	rng := rand.New(rand.NewSource(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	moves := 0
+	stopAfter := 100
+	res := Run(q, Options{
+		Iterations: 20000,
+		Ctx:        ctx,
+		OnChain: func(done, total int, best float64) {
+			moves = done
+			if done >= stopAfter {
+				cancel()
+			}
+		},
+	}, rng)
+	if !res.Cancelled {
+		t.Fatal("cancelled run not marked Cancelled")
+	}
+	if res.Iterations >= 20000 {
+		t.Fatalf("ran all %d iterations despite cancellation", res.Iterations)
+	}
+	if moves < stopAfter {
+		t.Fatalf("OnChain saw only %d moves before cancel fired", moves)
+	}
+	// An uncancelled run with the same seed must not be marked Cancelled.
+	q2 := &quadratic{x: make([]float64, 8), target: 3, step: 0.5}
+	res2 := Run(q2, Options{Iterations: 200, Ctx: context.Background()}, rand.New(rand.NewSource(1)))
+	if res2.Cancelled {
+		t.Fatal("uncancelled run marked Cancelled")
+	}
 }

@@ -144,6 +144,40 @@ type Config struct {
 	// VoltTargetFactor relaxes the timing target for voltage assignment.
 	// Default 1.15.
 	VoltTargetFactor float64
+	// Progress, when non-nil, receives per-stage events as the flow
+	// advances. The callback runs synchronously on the flow goroutine and
+	// must be cheap; it must not retain the event past the call.
+	Progress func(ProgressEvent)
+}
+
+// Stage identifies one phase of the flow (Fig. 3) in progress events.
+type Stage string
+
+const (
+	// StageAnneal is the simulated-annealing floorplanning search.
+	StageAnneal Stage = "anneal"
+	// StageFinalize covers TSV planning, voltage assignment, and the
+	// detailed thermal verification.
+	StageFinalize Stage = "finalize"
+	// StageSampling is the activity-sampling loop of the post-processing
+	// stage (Eq. 2 inputs).
+	StageSampling Stage = "sampling"
+	// StagePostProcess is the iterative dummy-TSV insertion (Sec. 6.2).
+	StagePostProcess Stage = "post-process"
+	// StageDone fires once, after metrics are final.
+	StageDone Stage = "done"
+)
+
+// ProgressEvent is one progress update. Done/Total count stage-local units
+// (annealing moves, activity samples, dummy groups); Total is 0 when the
+// stage has no meaningful denominator. Cost carries the best annealing cost
+// seen so far during StageAnneal and the watched correlation during
+// StagePostProcess; it is 0 elsewhere.
+type ProgressEvent struct {
+	Stage Stage
+	Done  int
+	Total int
+	Cost  float64
 }
 
 func (c *Config) defaults() {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -22,12 +23,23 @@ import (
 // of the leakage correlation, and — in TSC mode — the activity-sampling /
 // dummy-TSV post-processing stage.
 func Run(des *netlist.Design, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), des, cfg)
+}
+
+// RunContext is Run with cooperative cancellation: ctx is polled between
+// annealing moves, thermal-solver sweeps, and activity samples, and the flow
+// returns ctx.Err() promptly once it is done. A cancelled run returns no
+// partial Result.
+func RunContext(ctx context.Context, des *netlist.Design, cfg Config) (*Result, error) {
 	cfg.defaults()
 	if err := des.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid design: %w", err)
 	}
 	if des.Dies < 2 {
 		return nil, fmt.Errorf("core: the flow needs a stacked design (>= 2 dies), got %d", des.Dies)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	started := time.Now()
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -40,12 +52,20 @@ func Run(des *netlist.Design, cfg Config) (*Result, error) {
 	fp := floorplan.NewRandom(des, rng)
 	ev := &evaluator{fp: fp, cfg: &cfg, fast: fast}
 	var best *floorplan.Floorplan
+	cfg.emit(ProgressEvent{Stage: StageAnneal, Total: cfg.SAIterations})
 	anneal.Run(ev, anneal.Options{
 		Iterations: cfg.SAIterations,
+		Ctx:        ctx,
 		OnBest: func(cost float64) {
 			best = fp.Clone()
 		},
+		OnChain: func(done, total int, bestCost float64) {
+			cfg.emit(ProgressEvent{Stage: StageAnneal, Done: done, Total: total, Cost: bestCost})
+		},
 	}, rng)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if best == nil {
 		best = fp
 	}
@@ -56,17 +76,26 @@ func Run(des *netlist.Design, cfg Config) (*Result, error) {
 		Layout:  layout,
 		started: started,
 	}
-	if err := finalize(res, &cfg, rng); err != nil {
+	if err := finalize(ctx, res, &cfg, rng); err != nil {
 		return nil, err
 	}
 	res.Metrics.RuntimeSec = time.Since(started).Seconds()
+	cfg.emit(ProgressEvent{Stage: StageDone})
 	return res, nil
+}
+
+// emit delivers a progress event to the configured callback, if any.
+func (c *Config) emit(ev ProgressEvent) {
+	if c.Progress != nil {
+		c.Progress(ev)
+	}
 }
 
 // finalize plans TSVs, assigns voltages, runs detailed verification, and (in
 // TSC mode) the post-processing stage, filling in the metrics.
-func finalize(res *Result, cfg *Config, rng *rand.Rand) error {
+func finalize(ctx context.Context, res *Result, cfg *Config, rng *rand.Rand) error {
 	l := res.Layout
+	cfg.emit(ProgressEvent{Stage: StageFinalize})
 
 	// Signal TSVs for every cross-die net.
 	plan := tsv.PlanSignals(l, tsv.Options{})
@@ -91,7 +120,10 @@ func finalize(res *Result, cfg *Config, rng *rand.Rand) error {
 		stack.SetDiePower(d, maps[d])
 	}
 	applyTSVs(stack, plan, cfg.GridN)
-	sol, _ := stack.SolveSteady(nil, thermal.SolverOpts{})
+	sol, _ := stack.SolveSteady(nil, thermal.SolverOpts{Ctx: ctx})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
 	res.Stack = stack
 	res.PowerMaps = maps
@@ -117,7 +149,7 @@ func finalize(res *Result, cfg *Config, rng *rand.Rand) error {
 	// Post-processing: destabilize the leakage correlation by inserting
 	// dummy thermal TSVs at the most correlation-stable bins (Sec. 6.2).
 	if *cfg.PostProcess {
-		if err := postProcess(res, cfg, rng, sol); err != nil {
+		if err := postProcess(ctx, res, cfg, rng, sol); err != nil {
 			return err
 		}
 	} else {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -19,7 +20,7 @@ import (
 // With Config.ProtectModules set, the stage runs the paper's Sec. 7.1
 // adaptation instead: only bins covered by the protected modules are
 // targeted and watched, and collateral stabilization elsewhere is accepted.
-func postProcess(res *Result, cfg *Config, rng *rand.Rand, nominal *thermal.Solution) error {
+func postProcess(ctx context.Context, res *Result, cfg *Config, rng *rand.Rand, nominal *thermal.Solution) error {
 	l := res.Layout
 	stack := res.Stack
 	n := cfg.GridN
@@ -35,18 +36,26 @@ func postProcess(res *Result, cfg *Config, rng *rand.Rand, nominal *thermal.Solu
 		tempSamples[d] = make([]*geom.Grid, mSamples)
 	}
 	warm := nominal
+	cfg.emit(ProgressEvent{Stage: StageSampling, Total: mSamples})
 	for k := 0; k < mSamples; k++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		p := sampler.Sample(rng)
 		for d := 0; d < l.Dies; d++ {
 			pm := l.PowerMap(d, n, n, p)
 			powerSamples[d][k] = pm
 			stack.SetDiePower(d, pm)
 		}
-		sol, _ := stack.SolveSteady(warm, thermal.SolverOpts{Tol: 1e-4})
+		sol, _ := stack.SolveSteady(warm, thermal.SolverOpts{Tol: 1e-4, Ctx: ctx})
 		warm = sol
 		for d := 0; d < l.Dies; d++ {
 			tempSamples[d][k] = sol.DieTemp(d)
 		}
+		cfg.emit(ProgressEvent{Stage: StageSampling, Done: k + 1, Total: mSamples})
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	// Restore nominal power maps.
 	for d := 0; d < l.Dies; d++ {
@@ -119,6 +128,7 @@ func postProcess(res *Result, cfg *Config, rng *rand.Rand, nominal *thermal.Solu
 	}
 	cur := watched(nominal)
 	res.Metrics.PostCorrelationBefore = cur
+	cfg.emit(ProgressEvent{Stage: StagePostProcess, Total: cfg.MaxDummyGroups, Cost: cur})
 
 	// Insertions proceed most-stable-bin first while the watched correlation
 	// keeps dropping. A rejected bin is reverted and skipped; after
@@ -130,6 +140,9 @@ func postProcess(res *Result, cfg *Config, rng *rand.Rand, nominal *thermal.Solu
 	warmSol := nominal
 	rejected := 0
 	for g := 0; g < cfg.MaxDummyGroups && rejected < patience; g++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		bi, bj, val := leakage.MostStableBin(combined, used)
 		if val <= 0 {
 			break
@@ -148,7 +161,10 @@ func postProcess(res *Result, cfg *Config, rng *rand.Rand, nominal *thermal.Solu
 			}
 		}
 		applyTSVs(stack, candidate, n)
-		sol, _ := stack.SolveSteady(warmSol, thermal.SolverOpts{Tol: 1e-5})
+		sol, _ := stack.SolveSteady(warmSol, thermal.SolverOpts{Tol: 1e-5, Ctx: ctx})
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if c := watched(sol); c < cur {
 			cur = c
 			res.TSVs = candidate
@@ -158,6 +174,7 @@ func postProcess(res *Result, cfg *Config, rng *rand.Rand, nominal *thermal.Solu
 			applyTSVs(stack, res.TSVs, n)
 			rejected++
 		}
+		cfg.emit(ProgressEvent{Stage: StagePostProcess, Done: g + 1, Total: cfg.MaxDummyGroups, Cost: cur})
 	}
 
 	// Refresh the final maps and metrics with the accepted TSV set.

@@ -1,6 +1,7 @@
 package thermal
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -25,6 +26,10 @@ type SolverOpts struct {
 	Tol       float64 // max per-sweep update in K; default 1e-5
 	MaxSweeps int     // default 20000
 	Omega     float64 // SOR relaxation; 0 selects an automatic value
+	// Ctx, when non-nil, is polled between sweeps; on cancellation the
+	// solver returns its current iterate with Stats.Converged false. Callers
+	// that thread a context must check it after the solve.
+	Ctx context.Context
 }
 
 func (o *SolverOpts) defaults(nx, ny int) {
@@ -73,6 +78,9 @@ func (s *Stack) sor(T []float64, opts SolverOpts) Stats {
 	w := opts.Omega
 	var st Stats
 	for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			return st
+		}
 		maxUpd := 0.0
 		for l := 0; l < nl; l++ {
 			for j := 0; j < ny; j++ {

@@ -1,0 +1,148 @@
+package tscfp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+// sweepGrid is the acceptance grid: 2 seeds × 2 modes × 2 resolutions = 8
+// cells, at test scale.
+func sweepGrid(t *testing.T) Grid {
+	t.Helper()
+	return Grid{
+		Design: MustBenchmark("n100"),
+		Seeds:  []int64{1, 2},
+		Modes:  []Mode{PowerAware, TSCAware},
+		GridNs: []int{8, 12},
+		Options: []Option{
+			WithIterations(60),
+			WithActivitySamples(4),
+			WithMaxDummyGroups(2),
+		},
+	}
+}
+
+// TestSweepCompletesGrid runs the 8-cell grid on 4 workers and checks every
+// cell completes with a valid, JSON-serializable result.
+func TestSweepCompletesGrid(t *testing.T) {
+	grid := sweepGrid(t)
+	cells := grid.Cells()
+	if len(cells) != 8 {
+		t.Fatalf("grid has %d cells, want 8", len(cells))
+	}
+	results, err := Sweep(context.Background(), grid, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("sweep returned %d results, want 8", len(results))
+	}
+	for i, sr := range results {
+		if sr.Cell.Index != i {
+			t.Fatalf("result %d carries cell index %d", i, sr.Cell.Index)
+		}
+		if sr.Err != nil {
+			t.Fatalf("cell %d (seed %d, %s, grid %d) failed: %v",
+				i, sr.Cell.Seed, sr.Cell.Mode, sr.Cell.GridN, sr.Err)
+		}
+		if sr.Result == nil {
+			t.Fatalf("cell %d has neither result nor error", i)
+		}
+		if err := sr.Result.Validate(); err != nil {
+			t.Fatalf("cell %d invalid: %v", i, err)
+		}
+		if sr.Result.GridN != sr.Cell.GridN {
+			t.Fatalf("cell %d ran at grid %d, want %d", i, sr.Result.GridN, sr.Cell.GridN)
+		}
+		var buf bytes.Buffer
+		if err := sr.Result.WriteJSON(&buf); err != nil {
+			t.Fatalf("cell %d does not serialize: %v", i, err)
+		}
+		if _, err := ReadResult(&buf); err != nil {
+			t.Fatalf("cell %d JSON does not decode: %v", i, err)
+		}
+	}
+}
+
+// TestSweepMatchesSequentialRuns checks worker scheduling cannot leak into
+// results: each sweep cell equals the same flow run alone.
+func TestSweepMatchesSequentialRuns(t *testing.T) {
+	grid := Grid{
+		Design:  MustBenchmark("n100"),
+		Seeds:   []int64{3, 4},
+		Modes:   []Mode{PowerAware},
+		Options: []Option{WithGridN(8), WithIterations(40), WithActivitySamples(2)},
+	}
+	results, err := Sweep(context.Background(), grid, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sr := range results {
+		if sr.Err != nil {
+			t.Fatal(sr.Err)
+		}
+		solo, err := Run(context.Background(), grid.Design,
+			append(append([]Option(nil), grid.Options...), sr.Cell.Options()...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := sr.Result, solo
+		a.Metrics.RuntimeSec, b.Metrics.RuntimeSec = 0, 0
+		ja, _ := a.JSON()
+		jb, _ := b.JSON()
+		if !bytes.Equal(ja, jb) {
+			t.Fatalf("cell %d differs between sweep and solo run", sr.Cell.Index)
+		}
+	}
+}
+
+// TestSweepCancellation cancels a large sweep early; every cell must drain
+// out, completed or cancelled, and the channel must close.
+func TestSweepCancellation(t *testing.T) {
+	grid := Grid{
+		Design:  MustBenchmark("n100"),
+		Seeds:   []int64{1, 2, 3, 4, 5, 6},
+		Modes:   []Mode{PowerAware},
+		Options: []Option{WithGridN(8), WithIterations(400), WithActivitySamples(2)},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch, err := Stream(ctx, grid, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen, cancelled int
+	for sr := range ch {
+		if seen == 0 {
+			cancel() // first result in hand: stop the rest
+		}
+		seen++
+		if sr.Err != nil {
+			if !errors.Is(sr.Err, context.Canceled) {
+				t.Fatalf("cell %d: unexpected error %v", sr.Cell.Index, sr.Err)
+			}
+			cancelled++
+		}
+	}
+	if seen != len(grid.Cells()) {
+		t.Fatalf("drained %d results, want %d", seen, len(grid.Cells()))
+	}
+	if cancelled == 0 {
+		t.Fatal("cancellation arrived after every cell finished; enlarge the grid")
+	}
+}
+
+// TestSweepBadOptionFailsFast checks a malformed cell surfaces before any
+// flow runs.
+func TestSweepBadOptionFailsFast(t *testing.T) {
+	grid := sweepGrid(t)
+	grid.Modes = []Mode{"warp-aware"}
+	if _, err := Stream(context.Background(), grid); err == nil {
+		t.Fatal("bad mode accepted by Stream")
+	}
+	if _, err := Sweep(context.Background(), Grid{}); err == nil {
+		t.Fatal("nil design accepted by Sweep")
+	}
+}
