@@ -38,6 +38,9 @@ func main() {
 		maps      = flag.Bool("maps", false, "print ASCII heatmaps of the last run's power/thermal maps")
 		showFP    = flag.Bool("floorplan", false, "print an ASCII rendering of the last run's floorplan")
 		protect   = flag.Bool("protect", false, "post-process only the sensitive modules (Sec. 7.1 adaptation)")
+		par       = flag.Int("parallelism", 0, "thermal solver/estimator worker goroutines per run (0 = one per CPU, 1 = serial; results identical)")
+		fullCost  = flag.Bool("full-recompute", false, "disable the incremental cost evaluator (debug/reference; much slower)")
+		checkCost = flag.Bool("check-cost", false, "cross-check every incremental cost against a full recompute (debug; very slow)")
 	)
 	flag.Parse()
 
@@ -66,6 +69,9 @@ func main() {
 		tscfp.WithGridN(*grid),
 		tscfp.WithIterations(*iters),
 		tscfp.WithActivitySamples(*samples),
+		tscfp.WithParallelism(*par),
+		tscfp.WithIncrementalCost(!*fullCost),
+		tscfp.WithCostCrossCheck(*checkCost),
 	}
 	if *protect {
 		sensitive := design.SensitiveModules()

@@ -8,6 +8,7 @@ package anneal
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"math/rand"
 )
@@ -21,20 +22,36 @@ type Problem interface {
 }
 
 // Options tunes the schedule.
+//
+// Zero-value semantics: every numeric field treats 0 as "use the default" —
+// 0 can NEVER mean "disable" or "literally zero". An Options value that asks
+// for a literal zero anywhere (zero iterations, a zero initial acceptance
+// probability, a zero-length chain) is unrepresentable; the zero value of
+// the whole struct is simply the default schedule. Use Validate to reject
+// nonsensical explicit values before Run silently reinterprets them.
 type Options struct {
-	// Iterations is the total number of proposed moves. Default 5000.
+	// Iterations is the total number of proposed moves.
+	// Zero value: defaults to 5000 (it does not disable the search).
 	Iterations int
-	// ChainLength is the number of moves per temperature step. Default
-	// Iterations/50 (at least 1).
+	// ChainLength is the number of moves per temperature step.
+	// Zero value: defaults to Iterations/50, floored at 1. NOTE: the
+	// derived default changes with Iterations — an explicit ChainLength
+	// frozen from one budget does not adapt when the budget changes.
 	ChainLength int
 	// InitAcceptProb calibrates the start temperature so that an average
-	// uphill move is accepted with this probability. Default 0.8.
+	// uphill move is accepted with this probability.
+	// Zero value: defaults to 0.8. A literal 0 (never accept uphill at the
+	// start, i.e. greedy descent) is therefore unrepresentable; use a tiny
+	// positive value such as 1e-9 for an effectively greedy schedule.
 	InitAcceptProb float64
-	// Alpha is the geometric cooling factor per chain. 0 derives it so the
-	// final temperature is 1e-4 of the start temperature.
+	// Alpha is the geometric cooling factor per chain.
+	// Zero value: derived so the final temperature is 1e-4 of the start
+	// temperature after Iterations/ChainLength chains.
 	Alpha float64
 	// CalibrationMoves is the random-walk length used to estimate the cost
-	// scale. Default 50.
+	// scale. Zero value: defaults to 50 (a zero-move calibration is
+	// unrepresentable; the walk also seeds the temperature, so disabling it
+	// would start the schedule from a degenerate estimate).
 	CalibrationMoves int
 	// OnBest, when non-nil, is invoked whenever a new best cost is seen;
 	// the callee should snapshot the state.
@@ -47,6 +64,29 @@ type Options struct {
 	// search stops early and Result.Cancelled is set. The state still holds
 	// whatever the walk last accepted, and OnBest snapshots remain valid.
 	Ctx context.Context
+}
+
+// Validate rejects option values the zero-value defaulting would otherwise
+// silently reinterpret: negatives everywhere, and probabilities or cooling
+// factors outside their open intervals. A nil error means Run will use the
+// options as documented (with zeros replaced by defaults).
+func (o *Options) Validate() error {
+	if o.Iterations < 0 {
+		return fmt.Errorf("anneal: negative Iterations %d", o.Iterations)
+	}
+	if o.ChainLength < 0 {
+		return fmt.Errorf("anneal: negative ChainLength %d", o.ChainLength)
+	}
+	if o.CalibrationMoves < 0 {
+		return fmt.Errorf("anneal: negative CalibrationMoves %d", o.CalibrationMoves)
+	}
+	if o.InitAcceptProb < 0 || o.InitAcceptProb >= 1 {
+		return fmt.Errorf("anneal: InitAcceptProb %v outside [0, 1) (0 selects the default 0.8)", o.InitAcceptProb)
+	}
+	if o.Alpha < 0 || o.Alpha >= 1 {
+		return fmt.Errorf("anneal: Alpha %v outside [0, 1) (0 derives the cooling factor)", o.Alpha)
+	}
+	return nil
 }
 
 func (o *Options) defaults() {

@@ -38,6 +38,53 @@ func TestExplicitAlphaRespected(t *testing.T) {
 	}
 }
 
+func TestValidate(t *testing.T) {
+	good := []Options{
+		{}, // zero value = default schedule
+		{Iterations: 100, ChainLength: 10, InitAcceptProb: 0.5, Alpha: 0.9, CalibrationMoves: 5},
+		{InitAcceptProb: 1e-9}, // effectively-greedy, representable
+	}
+	for i, o := range good {
+		if err := o.Validate(); err != nil {
+			t.Fatalf("good[%d] rejected: %v", i, err)
+		}
+	}
+	bad := []Options{
+		{Iterations: -1},
+		{ChainLength: -5},
+		{CalibrationMoves: -1},
+		{InitAcceptProb: -0.1},
+		{InitAcceptProb: 1.0}, // exp calibration needs p < 1
+		{Alpha: -0.5},
+		{Alpha: 1.0}, // no cooling: the schedule never converges
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Fatalf("bad[%d] accepted: %+v", i, o)
+		}
+	}
+}
+
+// TestZeroValueAmbiguityDocumented pins the collision the docs call out: an
+// explicit "zero" is indistinguishable from "default" after defaulting, so
+// the representable stand-ins must behave as documented.
+func TestZeroValueAmbiguityDocumented(t *testing.T) {
+	// InitAcceptProb == 0 silently becomes the default 0.8 ...
+	o := Options{InitAcceptProb: 0}
+	o.defaults()
+	if o.InitAcceptProb != 0.8 {
+		t.Fatalf("zero InitAcceptProb must default to 0.8, got %v", o.InitAcceptProb)
+	}
+	// ... and ChainLength == 0 tracks the iteration budget.
+	a := Options{Iterations: 1000}
+	a.defaults()
+	b := Options{Iterations: 4000}
+	b.defaults()
+	if a.ChainLength*4 != b.ChainLength {
+		t.Fatalf("derived chain length must scale with the budget: %d vs %d", a.ChainLength, b.ChainLength)
+	}
+}
+
 // TestColdAnnealIsGreedy: with a tiny InitAcceptProb the search degenerates
 // toward hill climbing — uphill accepts should be rarer than at the default.
 func TestColdAnnealIsGreedy(t *testing.T) {

@@ -144,6 +144,20 @@ type Config struct {
 	// VoltTargetFactor relaxes the timing target for voltage assignment.
 	// Default 1.15.
 	VoltTargetFactor float64
+	// Parallelism bounds the worker goroutines fanned out by the detailed
+	// thermal solver's red-black SOR sweeps and the fast estimator's
+	// separable convolutions. 0 selects GOMAXPROCS; 1 forces the serial
+	// path. Results are byte-identical for every setting.
+	Parallelism int
+	// IncrementalCost selects the caching annealing-loop evaluator that
+	// repacks only moved dies and patches per-net and per-die cost state
+	// (incremental.go). Nil defaults to true; the full-recompute path is
+	// kept for debugging and as the cross-check reference.
+	IncrementalCost *bool
+	// CostCrossCheck re-evaluates every annealing move through the full
+	// recompute path and panics if the incremental cost drifts beyond
+	// 1e-9 (relative). Debug aid: it forfeits the entire speedup.
+	CostCrossCheck bool
 	// Progress, when non-nil, receives per-stage events as the flow
 	// advances. The callback runs synchronously on the flow goroutine and
 	// must be cheap; it must not retain the event past the call.
@@ -217,6 +231,39 @@ func (c *Config) defaults() {
 	if c.VoltTargetFactor == 0 {
 		c.VoltTargetFactor = 1.15
 	}
+	if c.IncrementalCost == nil {
+		inc := true
+		c.IncrementalCost = &inc
+	}
+}
+
+// EvalStats reports the annealing-loop evaluation effort: how many cost
+// evaluations ran, how much work the incremental caches avoided, and how far
+// the optional cross-check saw the incremental cost drift from the full
+// recompute (0 unless Config.CostCrossCheck was set).
+type EvalStats struct {
+	// Evals counts cost evaluations; FullEvals of those rebuilt every term
+	// from scratch, IncrementalEvals served from the caches.
+	Evals            int
+	FullEvals        int
+	IncrementalEvals int
+	// VoltRefreshes counts voltage-assignment re-runs (the VoltEvery stride).
+	VoltRefreshes int
+	// DiesRepacked/DiesReused count per-die skyline packings run vs skipped.
+	DiesRepacked int
+	DiesReused   int
+	// NetsRecomputed/NetsReused count per-net wirelength+Elmore refreshes
+	// run vs served from cache.
+	NetsRecomputed int
+	NetsReused     int
+	// ResponsesComputed/ResponsesReused count per-source-die thermal blur
+	// responses run vs served from cache.
+	ResponsesComputed int
+	ResponsesReused   int
+	// CrossChecks counts full-recompute comparisons; MaxCrossCheckError is
+	// the largest |incremental - full| cost difference they observed.
+	CrossChecks        int
+	MaxCrossCheckError float64
 }
 
 // DieMetrics bundles the per-die leakage measurements.
@@ -284,6 +331,13 @@ type Result struct {
 
 	// Stack is the solved detailed thermal model (reusable by attacks).
 	Stack *thermal.Stack
+
+	// EvalStats reports the annealing-loop evaluation effort, including how
+	// much work the incremental caches avoided.
+	EvalStats EvalStats
+	// SolverStats reports the detailed verification solve of the finalize
+	// stage (post-processing solves are not included).
+	SolverStats thermal.Stats
 
 	started time.Time
 }

@@ -15,6 +15,12 @@ import (
 // evaluator adapts a floorplan to the anneal.Problem interface, computing
 // the multi-objective cost of Sec. 7 with the fast thermal analysis in the
 // loop (Fig. 3).
+//
+// Two evaluation paths share the same math: the full path packs the whole
+// floorplan and recomputes every term from scratch on every call, while the
+// incremental path (incr non-nil, see incremental.go) repacks only the dies
+// a move touched and patches the per-net and per-die caches. The check flag
+// cross-checks every incremental evaluation against the full path.
 type evaluator struct {
 	fp   *floorplan.Floorplan
 	cfg  *Config
@@ -30,6 +36,12 @@ type evaluator struct {
 
 	// Normalization baselines (set on first evaluation).
 	norm *normTerms
+
+	// incr, when non-nil, holds the incremental caches; check enables the
+	// per-eval full-recompute cross-check (debug aid, heavily slows runs).
+	incr  *incrState
+	check bool
+	stats EvalStats
 }
 
 type normTerms struct {
@@ -45,8 +57,19 @@ func nz(v float64) float64 {
 
 // Cost evaluates the current floorplan.
 func (e *evaluator) Cost() float64 {
+	if e.incr != nil {
+		return e.incrementalCost()
+	}
+	e.stats.Evals++
+	e.stats.FullEvals++
 	l := e.fp.Pack()
-	terms := e.terms(l)
+	return e.finishCost(l, e.terms(l))
+}
+
+// finishCost normalizes and weights raw terms into the scalar cost,
+// initializing the normalization baselines on the first evaluation. Both
+// evaluation paths funnel through here.
+func (e *evaluator) finishCost(l *floorplan.Layout, terms *normTerms) float64 {
 	if e.norm == nil {
 		n := *terms
 		n.viol = nz(l.OutlineW * l.OutlineH * 0.05) // 5% of a die as the violation scale
@@ -75,20 +98,31 @@ func (e *evaluator) Cost() float64 {
 	return cost
 }
 
-// terms computes the raw cost terms for a packed layout.
+// terms computes the raw cost terms for a packed layout: the voltage-cache
+// bookkeeping followed by the geometry- and scale-derived terms.
 func (e *evaluator) terms(l *floorplan.Layout) *normTerms {
-	t := &normTerms{}
-	t.viol = l.OutlineViolation()
-	t.wl = l.HPWL(e.cfg.TimingParams.VertLen)
+	e.refreshVoltage(l, func() *timing.Analysis {
+		return timing.Analyze(l, nil, *e.cfg.TimingParams)
+	})
+	return e.staticTerms(l)
+}
 
-	// Voltage assignment: refresh periodically, reuse scales in between.
+// refreshVoltage advances the evaluation counter and re-runs the voltage
+// assignment on the stride boundary (the paper integrates it continuously;
+// the stride keeps runtime at the reported ~30% overhead), otherwise
+// refreshes the scaled power sum under the cached scales. ref supplies the
+// reference STA for the assignment; the incremental path substitutes its
+// cached net delays. Reports whether the assignment ran.
+func (e *evaluator) refreshVoltage(l *floorplan.Layout, ref func() *timing.Analysis) bool {
+	refreshed := false
 	if e.powerScale == nil || e.evals%e.cfg.VoltEvery == 0 {
-		ref := timing.Analyze(l, nil, *e.cfg.TimingParams)
-		asg := volt.Assign(l, ref, e.voltConfig())
+		asg := volt.Assign(l, ref(), e.voltConfig())
 		e.powerScale = asg.PowerScale
 		e.delayScale = asg.DelayScale
 		e.nVolumes = len(asg.Volumes)
 		e.scaledPower = asg.TotalPower
+		e.stats.VoltRefreshes++
+		refreshed = true
 	} else {
 		e.scaledPower = 0
 		for m, mod := range l.Design.Modules {
@@ -96,6 +130,16 @@ func (e *evaluator) terms(l *floorplan.Layout) *normTerms {
 		}
 	}
 	e.evals++
+	return refreshed
+}
+
+// staticTerms computes the raw cost terms from the layout geometry and the
+// current voltage scales, touching no evaluator bookkeeping. It is the
+// full-recompute reference the incremental path is checked against.
+func (e *evaluator) staticTerms(l *floorplan.Layout) *normTerms {
+	t := &normTerms{}
+	t.viol = l.OutlineViolation()
+	t.wl = l.HPWL(e.cfg.TimingParams.VertLen)
 	sta := timing.Analyze(l, e.delayScale, *e.cfg.TimingParams)
 	t.delay = sta.Critical
 	t.power = e.scaledPower
@@ -108,13 +152,7 @@ func (e *evaluator) terms(l *floorplan.Layout) *normTerms {
 		maps[d] = l.PowerMap(d, e.cfg.GridN, e.cfg.GridN, powers)
 	}
 	temps := e.fast.Estimate(maps)
-	peak := 0.0
-	for _, tm := range temps {
-		if m := tm.Max(); m > peak {
-			peak = m
-		}
-	}
-	t.peak = peak
+	t.peak = peakOf(temps)
 
 	if e.cfg.Mode == TSCAware {
 		corr, entropy := 0.0, 0.0
@@ -126,20 +164,37 @@ func (e *evaluator) terms(l *floorplan.Layout) *normTerms {
 		t.entropy = entropy / float64(l.Dies)
 	}
 
-	// Corblivar's thermal design rule: the power-weighted distance from
-	// the heatsink-side (top) die, as a fraction of total power.
-	if l.Dies > 1 {
-		away, total := 0.0, 0.0
-		for m := range l.Design.Modules {
-			p := powers[m]
-			total += p
-			away += p * float64(l.Dies-1-l.DieOf[m]) / float64(l.Dies-1)
-		}
-		if total > 0 {
-			t.rule = away / total
+	t.rule = designRuleTerm(l, powers)
+	return t
+}
+
+// peakOf returns the hottest cell over the per-die temperature maps.
+func peakOf(temps []*geom.Grid) float64 {
+	peak := 0.0
+	for _, tm := range temps {
+		if m := tm.Max(); m > peak {
+			peak = m
 		}
 	}
-	return t
+	return peak
+}
+
+// designRuleTerm is Corblivar's thermal design rule: the power-weighted
+// distance from the heatsink-side (top) die, as a fraction of total power.
+func designRuleTerm(l *floorplan.Layout, powers []float64) float64 {
+	if l.Dies <= 1 {
+		return 0
+	}
+	away, total := 0.0, 0.0
+	for m := range l.Design.Modules {
+		p := powers[m]
+		total += p
+		away += p * float64(l.Dies-1-l.DieOf[m]) / float64(l.Dies-1)
+	}
+	if total <= 0 {
+		return 0
+	}
+	return away / total
 }
 
 func (e *evaluator) voltConfig() volt.Config {
@@ -151,10 +206,14 @@ func (e *evaluator) voltConfig() volt.Config {
 }
 
 // Perturb applies one floorplan move; voltage scales stay valid because the
-// module set is unchanged (only geometry moves).
+// module set is unchanged (only geometry moves). With incremental caches
+// active the undo closure also rolls the caches back.
 func (e *evaluator) Perturb(rng *rand.Rand) func() {
-	_, undo := e.fp.Perturb(rng)
-	return undo
+	if e.incr == nil {
+		_, undo := e.fp.Perturb(rng)
+		return undo
+	}
+	return e.incr.perturb(e, rng)
 }
 
 // scaledPowers applies per-module power scaling (nil = nominal).

@@ -46,11 +46,14 @@ func RunContext(ctx context.Context, des *netlist.Design, cfg Config) (*Result, 
 
 	// Fast-analysis calibration (one impulse solve per die).
 	thermCfg := thermal.DefaultConfig(cfg.GridN, cfg.GridN, des.OutlineW, des.OutlineH, des.Dies)
-	fast := thermal.CalibrateFast(thermCfg)
+	fast := thermal.CalibrateFastWorkers(thermCfg, cfg.Parallelism)
 
 	// Annealing.
 	fp := floorplan.NewRandom(des, rng)
-	ev := &evaluator{fp: fp, cfg: &cfg, fast: fast}
+	ev := &evaluator{fp: fp, cfg: &cfg, fast: fast, check: cfg.CostCrossCheck}
+	if *cfg.IncrementalCost {
+		ev.incr = newIncrState()
+	}
 	var best *floorplan.Floorplan
 	cfg.emit(ProgressEvent{Stage: StageAnneal, Total: cfg.SAIterations})
 	anneal.Run(ev, anneal.Options{
@@ -72,9 +75,10 @@ func RunContext(ctx context.Context, des *netlist.Design, cfg Config) (*Result, 
 	layout := best.Pack()
 
 	res := &Result{
-		Design:  layout.Design,
-		Layout:  layout,
-		started: started,
+		Design:    layout.Design,
+		Layout:    layout,
+		EvalStats: ev.stats,
+		started:   started,
 	}
 	if err := finalize(ctx, res, &cfg, rng); err != nil {
 		return nil, err
@@ -120,7 +124,8 @@ func finalize(ctx context.Context, res *Result, cfg *Config, rng *rand.Rand) err
 		stack.SetDiePower(d, maps[d])
 	}
 	applyTSVs(stack, plan, cfg.GridN)
-	sol, _ := stack.SolveSteady(nil, thermal.SolverOpts{Ctx: ctx})
+	sol, solStats := stack.SolveSteady(nil, thermal.SolverOpts{Ctx: ctx, Workers: cfg.Parallelism})
+	res.SolverStats = solStats
 	if err := ctx.Err(); err != nil {
 		return err
 	}

@@ -1,0 +1,545 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/leakage"
+	"repro/internal/netlist"
+	"repro/internal/timing"
+)
+
+// incrState holds the caches behind the incremental cost evaluator. The
+// contract with the annealer's Perturb/Cost/undo protocol:
+//
+//   - a floorplan.Move touches only the dies it names, so only those dies
+//     are repacked (floorplan.PackDie); every other module's rect is
+//     untouched, bit for bit;
+//   - per-net wirelength and Elmore delay are recomputed only for nets with
+//     a pin on a module whose placement actually changed — the values are
+//     recomputed from scratch (not accumulated), so they are identical to a
+//     full recompute;
+//   - per-die power maps are patched by subtracting the moved modules' old
+//     footprints and re-adding the new ones, and the fast estimator's
+//     per-source blur responses are recomputed only for dies whose map
+//     changed. The subtract/re-add introduces float round-off of a few ulps,
+//     which is re-anchored by the full map rebuild at every voltage-refresh
+//     stride (Config.VoltEvery) and bounded well below the 1e-9 cross-check
+//     epsilon;
+//   - every mutation this evaluation makes to the caches is journaled; the
+//     undo closure returned by Perturb rolls the journal back, so rejected
+//     moves restore the caches exactly (byte for byte — rejected moves
+//     restore cloned pre-move maps, not re-derived ones).
+//
+// Voltage scales are deliberately NOT journaled: the full evaluator keeps
+// scales computed during a rejected evaluation too (they are not part of the
+// floorplan undo), and the incremental path mirrors that — a refresh during
+// a rejected move instead marks every map dirty for the next evaluation.
+type incrState struct {
+	lay *floorplan.Layout
+
+	// modNets[m] lists the nets with a pin on module m.
+	modNets [][]int
+
+	netLen   []float64 // per-net HPWL in um, without the vertical detour
+	netCross []bool    // whether the net spans dies
+	netWL    []float64 // per-net HPWL including the detour (the cost term)
+	netDelay []float64 // per-net Elmore delay in ns
+
+	maps      []*geom.Grid   // per-die voltage-scaled power maps
+	resp      [][]*geom.Grid // resp[s] = fast.Response(maps[s], s)
+	entropy   []float64      // per-die spatial entropy (TSC mode only)
+	mapsValid bool           // maps/resp/entropy reflect lay under current scales
+
+	pending *floorplan.Move // applied to fp but not yet to the caches
+	journal *moveJournal    // rollback record of the last evaluated move
+	dirty   []int           // dies whose maps need patching this evaluation
+	changed []int           // journal indices of modules whose placement changed
+
+	// packers[d] caches die d's skyline states so repacks resume from the
+	// move's first changed sequence position.
+	packers []*floorplan.DiePacker
+
+	// Scratch, sized once.
+	candMark []bool
+	cands    []int
+	netStamp []int
+	stamp    int
+	dieMark  []bool
+
+	// Recycled buffers: the annealing loop runs one evaluation per move, so
+	// per-eval allocations are worth pooling.
+	staRef    *timing.Analysis
+	staScaled *timing.Analysis
+	temps     []*geom.Grid
+	powers    []float64
+	pool      []*geom.Grid
+}
+
+// grabGrid returns a pooled grid of the cache's dimensions (contents
+// undefined) or allocates one.
+func (ic *incrState) grabGrid(nx, ny int) *geom.Grid {
+	for n := len(ic.pool); n > 0; n = len(ic.pool) {
+		g := ic.pool[n-1]
+		ic.pool = ic.pool[:n-1]
+		if g.NX == nx && g.NY == ny {
+			return g
+		}
+	}
+	return geom.NewGrid(nx, ny)
+}
+
+// releaseGrid returns a superseded grid to the pool (bounded — the
+// steady-state working set is a handful of grids; anything beyond that is
+// left to the garbage collector). Only call when dropping the last
+// reference.
+func (ic *incrState) releaseGrid(g *geom.Grid) {
+	const poolCap = 64
+	if g != nil && len(ic.pool) < poolCap {
+		ic.pool = append(ic.pool, g)
+	}
+}
+
+// releaseGrids is releaseGrid over a slice.
+func (ic *incrState) releaseGrids(gs []*geom.Grid) {
+	for _, g := range gs {
+		ic.releaseGrid(g)
+	}
+}
+
+// moveJournal records every cache mutation of one evaluated move so a
+// rejected move can be rolled back exactly.
+type moveJournal struct {
+	// reset marks a journal whose rollback must drop all caches (the move
+	// was folded into a full rebuild and has no itemized record).
+	reset bool
+	// refreshed marks that the voltage assignment re-ran during this
+	// evaluation; the new scales survive rollback (full-path parity), so
+	// the maps must be rebuilt instead of restored.
+	refreshed bool
+	// mapsRebuilt marks that updateMaps fully rebuilt the maps during this
+	// evaluation (they were invalid coming in) instead of journaling
+	// per-die patches; rollback must invalidate them, not restore them.
+	mapsRebuilt bool
+
+	mods  []int // snapshotted modules (everything on a touched die)
+	rects []geom.Rect
+	dies  []int
+
+	// moveDies/moveStarts record the move's touched dies and first changed
+	// sequence positions, for packer invalidation on rollback.
+	moveDies   []int
+	moveStarts []int
+
+	nets     []int
+	netLen   []float64
+	netCross []bool
+	netWL    []float64
+	netDelay []float64
+
+	mapDies    []int
+	oldMaps    []*geom.Grid
+	oldResp    [][]*geom.Grid
+	oldEntropy []float64
+}
+
+// newIncrState allocates an empty cache set; everything is built lazily on
+// the first Cost call.
+func newIncrState() *incrState { return &incrState{} }
+
+// perturb applies one floorplan move, remembers it for the next Cost call,
+// and returns an undo closure that reverts both the floorplan and the
+// caches.
+func (ic *incrState) perturb(e *evaluator, rng *rand.Rand) func() {
+	mv, undo := e.fp.PerturbMove(rng)
+	if ic.pending != nil {
+		// Defensive: a move was applied without an intervening Cost. Fold
+		// its dies into the new move so no staleness can slip through.
+		for i, d := range ic.pending.Dies {
+			mv.Touch(d, ic.pending.Starts[i])
+		}
+	}
+	// The previous move's journal is superseded: once the annealer moves
+	// on without undoing, that move is committed and its pre-move grid
+	// snapshots can be recycled.
+	if j := ic.journal; j != nil {
+		ic.releaseGrids(j.oldMaps)
+		for _, r := range j.oldResp {
+			ic.releaseGrids(r)
+		}
+		ic.journal = nil
+	}
+	ic.pending = &mv
+	return func() {
+		undo()
+		ic.rollback()
+	}
+}
+
+// rollback reverts the cache mutations of the last evaluated move. Called
+// after the floorplan undo has already restored the sequences.
+func (ic *incrState) rollback() {
+	ic.pending = nil
+	ic.dirty = ic.dirty[:0]
+	ic.changed = ic.changed[:0]
+	j := ic.journal
+	ic.journal = nil
+	if j == nil {
+		return // undone before any Cost ran: caches never saw the move
+	}
+	if j.reset {
+		ic.lay = nil
+		ic.mapsValid = false
+		ic.packers = nil
+		return
+	}
+	for i, m := range j.mods {
+		ic.lay.Rects[m] = j.rects[i]
+		ic.lay.DieOf[m] = j.dies[i]
+	}
+	// The die packers' snapshots past the undone move's start positions
+	// describe the rejected packing; drop them.
+	for i, d := range j.moveDies {
+		if ic.packers[d] != nil {
+			ic.packers[d].Invalidate(j.moveStarts[i])
+		}
+	}
+	for i, ni := range j.nets {
+		ic.netLen[ni] = j.netLen[i]
+		ic.netCross[ni] = j.netCross[i]
+		ic.netWL[ni] = j.netWL[i]
+		ic.netDelay[ni] = j.netDelay[i]
+	}
+	if j.refreshed || j.mapsRebuilt {
+		// Either the scales changed (and survive rollback) or the maps were
+		// rebuilt wholesale under the now-undone geometry; both ways they
+		// must be rebuilt on the next evaluation rather than restored.
+		ic.mapsValid = false
+		return
+	}
+	for i, d := range j.mapDies {
+		ic.releaseGrids(ic.resp[d])
+		ic.releaseGrid(ic.maps[d])
+		ic.maps[d] = j.oldMaps[i]
+		ic.resp[d] = j.oldResp[i]
+		if j.oldEntropy != nil {
+			ic.entropy[d] = j.oldEntropy[i]
+		}
+	}
+}
+
+// incrementalCost is Cost over the caches: apply the pending move (if any),
+// then assemble the terms from cached per-net and per-die state.
+func (e *evaluator) incrementalCost() float64 {
+	ic := e.incr
+	e.stats.Evals++
+	switch {
+	case ic.lay == nil:
+		ic.initGeometry(e)
+		e.stats.FullEvals++
+	case ic.pending != nil:
+		ic.applyMove(e)
+		e.stats.IncrementalEvals++
+	default:
+		e.stats.IncrementalEvals++
+	}
+
+	t := &normTerms{}
+	t.viol = ic.lay.OutlineViolation()
+	wl := 0.0
+	for _, v := range ic.netWL {
+		wl += v
+	}
+	t.wl = wl
+
+	if refreshed := e.refreshVoltage(ic.lay, func() *timing.Analysis {
+		ic.staRef = timing.AnalyzeFromNetDelaysInto(ic.lay.Design, ic.netDelay, nil, ic.staRef)
+		return ic.staRef
+	}); refreshed {
+		ic.mapsValid = false
+		if ic.journal != nil {
+			ic.journal.refreshed = true
+		}
+	}
+	ic.staScaled = timing.AnalyzeFromNetDelaysInto(ic.lay.Design, ic.netDelay, e.delayScale, ic.staScaled)
+	t.delay = ic.staScaled.Critical
+	t.power = e.scaledPower
+	t.volumes = float64(e.nVolumes)
+
+	powers := ic.scaledPowers(e)
+	ic.updateMaps(e, powers)
+	ic.temps = e.fast.CombineInto(ic.resp, ic.temps)
+	t.peak = peakOf(ic.temps)
+
+	if e.cfg.Mode == TSCAware {
+		corr, entropy := 0.0, 0.0
+		for d := 0; d < ic.lay.Dies; d++ {
+			corr += math.Abs(leakage.Pearson(ic.maps[d], ic.temps[d]))
+			entropy += ic.entropy[d]
+		}
+		t.corr = corr / float64(ic.lay.Dies)
+		t.entropy = entropy / float64(ic.lay.Dies)
+	}
+	t.rule = designRuleTerm(ic.lay, powers)
+
+	cost := e.finishCost(ic.lay, t)
+	if e.check {
+		e.crossCheck(cost)
+	}
+	return cost
+}
+
+// crossCheck re-evaluates the current floorplan through the full-recompute
+// path (using the same voltage scales) and panics if the incremental cost
+// drifted past the epsilon contract. Debug aid: it forfeits the entire
+// speedup, so it is only enabled by Config.CostCrossCheck and in tests.
+func (e *evaluator) crossCheck(got float64) {
+	e.stats.CrossChecks++
+	l := e.fp.Pack()
+	want := e.finishCost(l, e.staticTerms(l))
+	diff := math.Abs(got - want)
+	if diff > e.stats.MaxCrossCheckError {
+		e.stats.MaxCrossCheckError = diff
+	}
+	if diff > 1e-9*math.Max(1, math.Abs(want)) {
+		panic(fmt.Sprintf("core: incremental cost %v diverged from full recompute %v (|diff| %g)",
+			got, want, diff))
+	}
+}
+
+// initGeometry builds the layout and per-net caches from scratch. The power
+// maps are built by updateMaps once the voltage scales are known.
+func (ic *incrState) initGeometry(e *evaluator) {
+	ic.lay = e.fp.Pack()
+	des := ic.lay.Design
+	nMods, nNets := len(des.Modules), len(des.Nets)
+
+	ic.modNets = make([][]int, nMods)
+	for ni, n := range des.Nets {
+		for _, m := range n.Modules {
+			ic.modNets[m] = append(ic.modNets[m], ni)
+		}
+	}
+	ic.netLen = make([]float64, nNets)
+	ic.netCross = make([]bool, nNets)
+	ic.netWL = make([]float64, nNets)
+	ic.netDelay = make([]float64, nNets)
+	for ni, n := range des.Nets {
+		ic.refreshNet(ni, n, e.cfg.TimingParams)
+	}
+
+	ic.maps = make([]*geom.Grid, ic.lay.Dies)
+	ic.resp = make([][]*geom.Grid, ic.lay.Dies)
+	ic.entropy = make([]float64, ic.lay.Dies)
+	ic.mapsValid = false
+
+	ic.candMark = make([]bool, nMods)
+	ic.netStamp = make([]int, nNets)
+	ic.dieMark = make([]bool, ic.lay.Dies)
+
+	if ic.pending != nil {
+		// The move is folded into this full build; there is no itemized
+		// rollback record, so an undo must drop the caches entirely.
+		ic.pending = nil
+		ic.journal = &moveJournal{reset: true}
+	}
+}
+
+// scaledPowers fills the reusable per-module voltage-scaled power buffer,
+// value-identical to the package-level scaledPowers helper.
+func (ic *incrState) scaledPowers(e *evaluator) []float64 {
+	des := ic.lay.Design
+	if cap(ic.powers) < len(des.Modules) {
+		ic.powers = make([]float64, len(des.Modules))
+	}
+	p := ic.powers[:len(des.Modules)]
+	for m, mod := range des.Modules {
+		p[m] = mod.Power
+	}
+	if e.powerScale != nil {
+		for m := range p {
+			p[m] *= e.powerScale[m]
+		}
+	}
+	return p
+}
+
+// refreshNet recomputes one net's cached geometry and delay from the current
+// layout. The values are recomputed exactly as the full path would, so
+// unchanged nets keep bit-identical cached values.
+func (ic *incrState) refreshNet(ni int, n *netlist.Net, p *timing.Params) {
+	ln := ic.lay.NetHPWL(n, 0)
+	cross := false
+	die0 := -1
+	for _, mi := range n.Modules {
+		if die0 == -1 {
+			die0 = ic.lay.DieOf[mi]
+		} else if ic.lay.DieOf[mi] != die0 {
+			cross = true
+			break
+		}
+	}
+	wl := ln
+	if cross {
+		wl = ln + p.VertLen
+	}
+	ic.netLen[ni] = ln
+	ic.netCross[ni] = cross
+	ic.netWL[ni] = wl
+	ic.netDelay[ni] = timing.ElmoreDelay(ln, cross, n.Degree(), *p)
+}
+
+// applyMove repacks the dies the pending move touched, diffs the module
+// placements, and patches the per-net caches. Map patching is deferred to
+// updateMaps (the voltage scales of this evaluation must be known first).
+func (ic *incrState) applyMove(e *evaluator) {
+	mv := ic.pending
+	ic.pending = nil
+	j := &moveJournal{}
+	ic.journal = j
+
+	// Snapshot the modules a repack may displace: on each touched die, only
+	// the modules sequenced at or after the move's first changed position —
+	// the prefix packs to bit-identical placements (see PackDieFrom), and a
+	// module that left a die reappears in its destination die's suffix.
+	ic.cands = ic.cands[:0]
+	for i, d := range mv.Dies {
+		seq := e.fp.ModulesOnDie(d)
+		start := mv.Starts[i]
+		if start > len(seq) {
+			start = len(seq)
+		}
+		for _, m := range seq[start:] {
+			if !ic.candMark[m] {
+				ic.candMark[m] = true
+				ic.cands = append(ic.cands, m)
+			}
+		}
+	}
+	for _, m := range ic.cands {
+		ic.candMark[m] = false
+		j.mods = append(j.mods, m)
+		j.rects = append(j.rects, ic.lay.Rects[m])
+		j.dies = append(j.dies, ic.lay.DieOf[m])
+	}
+
+	// Partial repack: only the touched dies, each resuming from the move's
+	// first changed sequence position via the cached skyline snapshots.
+	j.moveDies = append(j.moveDies, mv.Dies...)
+	j.moveStarts = append(j.moveStarts, mv.Starts...)
+	if ic.packers == nil {
+		ic.packers = make([]*floorplan.DiePacker, ic.lay.Dies)
+	}
+	for i, d := range mv.Dies {
+		if ic.packers[d] == nil {
+			ic.packers[d] = &floorplan.DiePacker{}
+		}
+		e.fp.PackDieFrom(ic.lay, d, mv.Starts[i], ic.packers[d])
+	}
+	e.stats.DiesRepacked += len(mv.Dies)
+	e.stats.DiesReused += ic.lay.Dies - len(mv.Dies)
+
+	// Diff: modules whose placement actually changed. A skyline prefix
+	// untouched by the move repacks to bit-identical rects, so this set is
+	// typically much smaller than the repacked dies' population.
+	ic.changed = ic.changed[:0]
+	for i, m := range j.mods {
+		if ic.lay.Rects[m] != j.rects[i] || ic.lay.DieOf[m] != j.dies[i] {
+			ic.changed = append(ic.changed, i)
+		}
+	}
+
+	// Patch the nets touching a changed module; mark their dies map-dirty.
+	ic.stamp++
+	recomputed := 0
+	for i := range ic.dieMark {
+		ic.dieMark[i] = false
+	}
+	for _, ci := range ic.changed {
+		m := j.mods[ci]
+		ic.dieMark[j.dies[ci]] = true      // old die
+		ic.dieMark[ic.lay.DieOf[m]] = true // new die
+		for _, ni := range ic.modNets[m] {
+			if ic.netStamp[ni] == ic.stamp {
+				continue
+			}
+			ic.netStamp[ni] = ic.stamp
+			j.nets = append(j.nets, ni)
+			j.netLen = append(j.netLen, ic.netLen[ni])
+			j.netCross = append(j.netCross, ic.netCross[ni])
+			j.netWL = append(j.netWL, ic.netWL[ni])
+			j.netDelay = append(j.netDelay, ic.netDelay[ni])
+			ic.refreshNet(ni, ic.lay.Design.Nets[ni], e.cfg.TimingParams)
+			recomputed++
+		}
+	}
+	e.stats.NetsRecomputed += recomputed
+	e.stats.NetsReused += len(ic.netWL) - recomputed
+
+	ic.dirty = ic.dirty[:0]
+	for d, marked := range ic.dieMark {
+		if marked {
+			ic.dirty = append(ic.dirty, d)
+		}
+	}
+}
+
+// updateMaps brings the per-die power maps, fast-estimator responses, and
+// entropy cache in line with the current layout and voltage scales: a full
+// rebuild when the scales changed (or on first use), otherwise a patch of
+// only the dirty dies.
+func (ic *incrState) updateMaps(e *evaluator, powers []float64) {
+	n := e.cfg.GridN
+	tsc := e.cfg.Mode == TSCAware
+	if !ic.mapsValid {
+		for d := 0; d < ic.lay.Dies; d++ {
+			ic.releaseGrid(ic.maps[d])
+			ic.releaseGrids(ic.resp[d])
+			ic.maps[d] = ic.lay.PowerMap(d, n, n, powers)
+		}
+		for s := 0; s < ic.lay.Dies; s++ {
+			ic.resp[s] = e.fast.Response(ic.maps[s], s)
+			if tsc {
+				ic.entropy[s] = leakage.SpatialEntropy(ic.maps[s], leakage.EntropyOptions{})
+			}
+		}
+		ic.mapsValid = true
+		ic.dirty = ic.dirty[:0]
+		if ic.journal != nil {
+			ic.journal.mapsRebuilt = true
+		}
+		e.stats.ResponsesComputed += ic.lay.Dies
+		return
+	}
+	if len(ic.dirty) == 0 {
+		e.stats.ResponsesReused += ic.lay.Dies
+		return
+	}
+	j := ic.journal
+	outline := ic.lay.Outline()
+	for _, d := range ic.dirty {
+		j.mapDies = append(j.mapDies, d)
+		snap := ic.grabGrid(n, n)
+		copy(snap.Data, ic.maps[d].Data)
+		j.oldMaps = append(j.oldMaps, snap)
+	}
+	for _, ci := range ic.changed {
+		m := j.mods[ci]
+		ic.maps[j.dies[ci]].RasterizeDensity(outline, j.rects[ci], -powers[m])
+		ic.maps[ic.lay.DieOf[m]].RasterizeDensity(outline, ic.lay.Rects[m], powers[m])
+	}
+	for _, d := range ic.dirty {
+		j.oldResp = append(j.oldResp, ic.resp[d])
+		ic.resp[d] = e.fast.Response(ic.maps[d], d)
+		if tsc {
+			j.oldEntropy = append(j.oldEntropy, ic.entropy[d])
+			ic.entropy[d] = leakage.SpatialEntropy(ic.maps[d], leakage.EntropyOptions{})
+		}
+	}
+	e.stats.ResponsesComputed += len(ic.dirty)
+	e.stats.ResponsesReused += ic.lay.Dies - len(ic.dirty)
+	ic.dirty = ic.dirty[:0]
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/floorplan"
+	"repro/internal/thermal"
+)
+
+// makeEval builds an evaluator over n100 at a small grid, with or without
+// the incremental caches.
+func makeEval(t *testing.T, mode Mode, incremental bool, seed int64) *evaluator {
+	t.Helper()
+	des := bench.MustGenerate("n100")
+	cfg := Config{Mode: mode, GridN: 16, Seed: seed}
+	cfg.defaults()
+	fast := thermal.CalibrateFast(thermal.DefaultConfig(16, 16, des.OutlineW, des.OutlineH, des.Dies))
+	rng := rand.New(rand.NewSource(seed))
+	ev := &evaluator{fp: floorplan.NewRandom(des, rng), cfg: &cfg, fast: fast}
+	if incremental {
+		ev.incr = newIncrState()
+	}
+	return ev
+}
+
+func relDiff(a, b float64) float64 {
+	return math.Abs(a-b) / math.Max(1, math.Abs(b))
+}
+
+// TestIncrementalMatchesFullOverRandomCycles is the epsilon contract: a full
+// and an incremental evaluator driven through the same 1k perturb/undo
+// cycles must agree on every cost to 1e-9 (relative). Undos are interleaved
+// so the journal rollback path is exercised as hard as the apply path.
+func TestIncrementalMatchesFullOverRandomCycles(t *testing.T) {
+	for _, mode := range []Mode{PowerAware, TSCAware} {
+		cycles := 1000
+		if mode == PowerAware {
+			cycles = 300 // the PA path is a strict subset; keep the suite fast
+		}
+		full := makeEval(t, mode, false, 11)
+		inc := makeEval(t, mode, true, 11)
+		mrFull := rand.New(rand.NewSource(99))
+		mrInc := rand.New(rand.NewSource(99))
+		dec := rand.New(rand.NewSource(7))
+
+		if d := relDiff(inc.Cost(), full.Cost()); d > 1e-9 {
+			t.Fatalf("%v: initial cost differs by %g", mode, d)
+		}
+		for i := 0; i < cycles; i++ {
+			undoFull := full.Perturb(mrFull)
+			undoInc := inc.Perturb(mrInc)
+			cf, ci := full.Cost(), inc.Cost()
+			if d := relDiff(ci, cf); d > 1e-9 {
+				t.Fatalf("%v cycle %d: incremental %v vs full %v (rel diff %g)", mode, i, ci, cf, d)
+			}
+			if dec.Float64() < 0.5 {
+				undoFull()
+				undoInc()
+			}
+		}
+		// Post-undo state must also agree (journal rollback correctness).
+		if d := relDiff(inc.Cost(), full.Cost()); d > 1e-9 {
+			t.Fatalf("%v: post-cycle cost differs by %g", mode, d)
+		}
+		st := inc.stats
+		if st.IncrementalEvals == 0 || st.NetsReused == 0 || st.DiesReused+st.ResponsesReused == 0 {
+			t.Fatalf("incremental caches never engaged: %+v", st)
+		}
+	}
+}
+
+// TestCostCrossCheckFlag exercises the built-in debug cross-check: it panics
+// on divergence, so surviving a few hundred mixed cycles (and recording a
+// sub-epsilon max error) is the assertion.
+func TestCostCrossCheckFlag(t *testing.T) {
+	ev := makeEval(t, TSCAware, true, 21)
+	ev.check = true
+	rng := rand.New(rand.NewSource(5))
+	dec := rand.New(rand.NewSource(6))
+	ev.Cost()
+	for i := 0; i < 200; i++ {
+		undo := ev.Perturb(rng)
+		ev.Cost()
+		if dec.Float64() < 0.4 {
+			undo()
+		}
+	}
+	if ev.stats.CrossChecks < 200 {
+		t.Fatalf("cross-checks did not run: %+v", ev.stats)
+	}
+	if ev.stats.MaxCrossCheckError > 1e-9 {
+		t.Fatalf("cross-check error too large: %g", ev.stats.MaxCrossCheckError)
+	}
+}
+
+// TestUndoBeforeCostIsSafe covers the protocol corner where a move is undone
+// without an intervening Cost call: the caches must not go stale.
+func TestUndoBeforeCostIsSafe(t *testing.T) {
+	ev := makeEval(t, PowerAware, true, 31)
+	ref := makeEval(t, PowerAware, false, 31)
+	rng := rand.New(rand.NewSource(8))
+	rngRef := rand.New(rand.NewSource(8))
+	ev.Cost()
+	ref.Cost()
+	for i := 0; i < 20; i++ {
+		ev.Perturb(rng)()     // apply + immediately undo, no Cost between
+		ref.Perturb(rngRef)() // keep the reference rng in lockstep
+		if d := relDiff(ev.Cost(), ref.Cost()); d > 1e-9 {
+			t.Fatalf("cycle %d: cost drifted by %g after cost-less undo", i, d)
+		}
+	}
+}
+
+// TestFlowIncrementalMatchesFull is the end-to-end determinism criterion:
+// for a fixed seed, the flow must produce the identical best floorplan with
+// the incremental evaluator on and off.
+func TestFlowIncrementalMatchesFull(t *testing.T) {
+	des := bench.MustGenerate("n100")
+	run := func(incremental bool) *Result {
+		inc := incremental
+		post := false
+		res, err := Run(des, Config{
+			Mode:            TSCAware,
+			GridN:           16,
+			SAIterations:    400,
+			Seed:            3,
+			PostProcess:     &post,
+			IncrementalCost: &inc,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast := run(true)
+	full := run(false)
+	if len(fast.Layout.Rects) != len(full.Layout.Rects) {
+		t.Fatal("layouts differ in size")
+	}
+	for m := range fast.Layout.Rects {
+		if fast.Layout.Rects[m] != full.Layout.Rects[m] || fast.Layout.DieOf[m] != full.Layout.DieOf[m] {
+			t.Fatalf("module %d placed differently: %+v/die%d vs %+v/die%d", m,
+				fast.Layout.Rects[m], fast.Layout.DieOf[m], full.Layout.Rects[m], full.Layout.DieOf[m])
+		}
+	}
+	if fast.Metrics.PeakTempK != full.Metrics.PeakTempK || fast.Metrics.R1 != full.Metrics.R1 {
+		t.Fatalf("metrics differ: peak %v vs %v, r1 %v vs %v",
+			fast.Metrics.PeakTempK, full.Metrics.PeakTempK, fast.Metrics.R1, full.Metrics.R1)
+	}
+	if fast.EvalStats.IncrementalEvals == 0 {
+		t.Fatalf("incremental run never used the caches: %+v", fast.EvalStats)
+	}
+	if full.EvalStats.IncrementalEvals != 0 {
+		t.Fatalf("full run unexpectedly used caches: %+v", full.EvalStats)
+	}
+	if !fast.SolverStats.Converged || fast.SolverStats.Sweeps == 0 {
+		t.Fatalf("solver stats not recorded: %+v", fast.SolverStats)
+	}
+}

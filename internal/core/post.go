@@ -47,7 +47,7 @@ func postProcess(ctx context.Context, res *Result, cfg *Config, rng *rand.Rand, 
 			powerSamples[d][k] = pm
 			stack.SetDiePower(d, pm)
 		}
-		sol, _ := stack.SolveSteady(warm, thermal.SolverOpts{Tol: 1e-4, Ctx: ctx})
+		sol, _ := stack.SolveSteady(warm, thermal.SolverOpts{Tol: 1e-4, Ctx: ctx, Workers: cfg.Parallelism})
 		warm = sol
 		for d := 0; d < l.Dies; d++ {
 			tempSamples[d][k] = sol.DieTemp(d)
@@ -161,7 +161,7 @@ func postProcess(ctx context.Context, res *Result, cfg *Config, rng *rand.Rand, 
 			}
 		}
 		applyTSVs(stack, candidate, n)
-		sol, _ := stack.SolveSteady(warmSol, thermal.SolverOpts{Tol: 1e-5, Ctx: ctx})
+		sol, _ := stack.SolveSteady(warmSol, thermal.SolverOpts{Tol: 1e-5, Ctx: ctx, Workers: cfg.Parallelism})
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -178,7 +178,7 @@ func postProcess(ctx context.Context, res *Result, cfg *Config, rng *rand.Rand, 
 	}
 
 	// Refresh the final maps and metrics with the accepted TSV set.
-	finalSol, _ := stack.SolveSteady(warmSol, thermal.SolverOpts{})
+	finalSol, _ := stack.SolveSteady(warmSol, thermal.SolverOpts{Workers: cfg.Parallelism})
 	for d := 0; d < l.Dies; d++ {
 		res.TempMaps[d] = finalSol.DieTemp(d)
 	}

@@ -159,16 +159,107 @@ func (fp *Floorplan) Pack() *Layout {
 		OutlineH: fp.Design.OutlineH,
 		Dies:     fp.Design.Dies,
 	}
-	for d, s := range fp.seq {
-		sky := newSkyline(fp.Design.OutlineW)
-		for _, mi := range s {
-			w, h := fp.footprint(mi)
-			x, y := sky.place(w, h, fp.dir[mi])
-			l.Rects[mi] = geom.Rect{X: x, Y: y, W: w, H: h}
-			l.DieOf[mi] = d
-		}
+	for d := range fp.seq {
+		fp.PackDie(l, d)
 	}
 	return l
+}
+
+// PackDie repacks a single die's sequence into an existing layout in place,
+// overwriting the Rects and DieOf entries of the modules currently sequenced
+// on that die. A die's packing depends only on its own sequence state, so
+// repacking exactly the dies named by a Move's Dies list (after the move, or
+// after its undo) restores the layout a full Pack would produce — module by
+// module, bit for bit. This is the partial-repack primitive behind the
+// incremental cost evaluator.
+//
+// Callers repacking after a cross-die move must repack every die the move
+// touched; a module that left die d is only re-homed when its new die packs.
+func (fp *Floorplan) PackDie(l *Layout, d int) {
+	sky := newSkyline(fp.Design.OutlineW)
+	for _, mi := range fp.seq[d] {
+		w, h := fp.footprint(mi)
+		x, y := sky.place(w, h, fp.dir[mi])
+		l.Rects[mi] = geom.Rect{X: x, Y: y, W: w, H: h}
+		l.DieOf[mi] = d
+	}
+}
+
+// ModulesOnDie returns the modules currently sequenced on die d, in packing
+// order. The incremental evaluator diffs their rects before and after a
+// partial repack.
+func (fp *Floorplan) ModulesOnDie(d int) []int { return fp.seq[d] }
+
+// DiePacker caches one die's skyline states between repacks so a repack can
+// resume from the first changed sequence position instead of position 0. A
+// placement depends only on the sequence prefix before it, so replaying from
+// the snapshot taken before the first change reproduces the full repack bit
+// for bit while skipping the untouched prefix — the second half of the
+// incremental evaluator's partial-repack primitive.
+type DiePacker struct {
+	// xs[i], ys[i] snapshot the skyline steps before placing sequence
+	// position i; position 0 is the empty skyline.
+	xs, ys [][]float64
+	// valid is the highest snapshot index consistent with the die's current
+	// sequence state (after an undo, snapshots past the undone move's start
+	// position describe a packing that no longer exists).
+	valid int
+	sky   skyline // reusable working skyline
+}
+
+// Invalidate marks snapshots at positions > pos stale. Call it when the
+// die's sequence state changed at position pos without a repack (i.e. on the
+// undo path, after the floorplan state has been restored).
+func (dp *DiePacker) Invalidate(pos int) {
+	if pos < dp.valid {
+		dp.valid = pos
+	}
+}
+
+// PackDieFrom repacks die d into the layout like PackDie, resuming from the
+// cached skyline snapshot at sequence position `from` (clamped to the last
+// valid snapshot). Placements before the resume point are untouched — they
+// are already correct in l — and the snapshots from the resume point on are
+// refreshed, so consecutive calls keep the cache consistent.
+func (fp *Floorplan) PackDieFrom(l *Layout, d, from int, dp *DiePacker) {
+	seq := fp.seq[d]
+	if from > dp.valid {
+		from = dp.valid
+	}
+	if from > len(seq) {
+		from = len(seq)
+	}
+	if need := len(seq) + 1; cap(dp.xs) < need {
+		xs := make([][]float64, need)
+		ys := make([][]float64, need)
+		copy(xs, dp.xs)
+		copy(ys, dp.ys)
+		dp.xs, dp.ys = xs, ys
+	} else {
+		dp.xs = dp.xs[:need]
+		dp.ys = dp.ys[:need]
+	}
+	sky := &dp.sky
+	sky.width = fp.Design.OutlineW
+	if from == 0 {
+		sky.xs = append(sky.xs[:0], 0)
+		sky.ys = append(sky.ys[:0], 0)
+	} else {
+		sky.xs = append(sky.xs[:0], dp.xs[from]...)
+		sky.ys = append(sky.ys[:0], dp.ys[from]...)
+	}
+	for i := from; i < len(seq); i++ {
+		dp.xs[i] = append(dp.xs[i][:0], sky.xs...)
+		dp.ys[i] = append(dp.ys[i][:0], sky.ys...)
+		mi := seq[i]
+		w, h := fp.footprint(mi)
+		x, y := sky.place(w, h, fp.dir[mi])
+		l.Rects[mi] = geom.Rect{X: x, Y: y, W: w, H: h}
+		l.DieOf[mi] = d
+	}
+	dp.xs[len(seq)] = append(dp.xs[len(seq)][:0], sky.xs...)
+	dp.ys[len(seq)] = append(dp.ys[len(seq)][:0], sky.ys...)
+	dp.valid = len(seq)
 }
 
 // skyline tracks the upper contour of a packing as a list of steps.
@@ -176,6 +267,9 @@ type skyline struct {
 	width float64
 	xs    []float64 // step start positions, xs[0] == 0, ascending
 	ys    []float64 // step heights, ys[i] spans [xs[i], xs[i+1]) (last to width)
+
+	// commit scratch, reused across placements to keep packing allocation-lean.
+	sxs, sys []float64
 }
 
 func newSkyline(width float64) *skyline {
@@ -190,10 +284,16 @@ func (s *skyline) end(i int) float64 {
 	return s.width
 }
 
-// spanHeight returns the max height over [x, x+w).
+// spanHeight returns the max height over [x, x+w). The first relevant step
+// is located by binary search over the ascending step starts, so a span
+// query costs O(log k + steps covered) instead of a full scan.
 func (s *skyline) spanHeight(x, w float64) float64 {
 	h := 0.0
-	for i := range s.xs {
+	i := sort.SearchFloat64s(s.xs, x)
+	if i > 0 && s.end(i-1) > x {
+		i--
+	}
+	for ; i < len(s.xs); i++ {
 		if s.end(i) <= x {
 			continue
 		}
@@ -253,7 +353,7 @@ func better(x, y, bx, by float64, dir InsertDir) bool {
 // commit raises the skyline over [x, x+w) to newY.
 func (s *skyline) commit(x, w, newY float64) {
 	x1 := x + w
-	var nxs, nys []float64
+	nxs, nys := s.sxs[:0], s.sys[:0]
 	// Preserve steps before x.
 	for i := range s.xs {
 		if s.xs[i] >= x {
@@ -304,6 +404,7 @@ func (s *skyline) commit(x, w, newY float64) {
 		s.xs = append([]float64{0}, s.xs...)
 		s.ys = append([]float64{0}, s.ys...)
 	}
+	s.sxs, s.sys = nxs, nys // keep the grown scratch for the next commit
 }
 
 // --- Layout queries ---------------------------------------------------------
@@ -484,24 +585,80 @@ func (l *Layout) Deadspace(d int) float64 {
 // AdjacentModules returns, for each module, the modules whose placed
 // rectangles abut or overlap it — on the same die, or vertically on a
 // neighbouring die (footprint overlap). This drives voltage-volume growth.
+//
+// Candidate pairs come from an X-interval sweep per die (and per die pair)
+// instead of the all-pairs scan: two rects can only be adjacent when their
+// X intervals overlap or touch, so each module is tested only against the
+// modules whose interval starts before its own ends. The collected pairs
+// are ordered exactly as the all-pairs scan would order them, keeping the
+// voltage-volume growth (which is sensitive to neighbour order) identical.
 func (l *Layout) AdjacentModules() [][]int {
 	n := len(l.Rects)
 	adj := make([][]int, n)
-	for a := 0; a < n; a++ {
-		for b := a + 1; b < n; b++ {
-			da, db := l.DieOf[a], l.DieOf[b]
-			var linked bool
-			switch {
-			case da == db:
-				linked = l.Rects[a].Adjacent(l.Rects[b])
-			case da == db+1 || db == da+1:
-				linked = l.Rects[a].OverlapArea(l.Rects[b]) > 0
-			}
-			if linked {
-				adj[a] = append(adj[a], b)
-				adj[b] = append(adj[b], a)
+	byDie := make([][]int, l.Dies)
+	for mi, d := range l.DieOf {
+		byDie[d] = append(byDie[d], mi)
+	}
+	// margin exceeds Adjacent's relative tolerance at any realistic die
+	// coordinate, so the sweep never prunes a pair Adjacent would accept.
+	const margin = 1e-3
+	var pairs [][2]int
+	record := func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		pairs = append(pairs, [2]int{a, b})
+	}
+	byX := func(mods []int) []int {
+		order := append([]int(nil), mods...)
+		sort.Slice(order, func(i, j int) bool { return l.Rects[order[i]].X < l.Rects[order[j]].X })
+		return order
+	}
+	for d := 0; d < l.Dies; d++ {
+		order := byX(byDie[d])
+		for i, a := range order {
+			ra := l.Rects[a]
+			maxX := ra.MaxX() + margin
+			for _, b := range order[i+1:] {
+				if l.Rects[b].X > maxX {
+					break
+				}
+				if ra.Adjacent(l.Rects[b]) {
+					record(a, b)
+				}
 			}
 		}
+		// Vertical adjacency against the die above.
+		if d+1 >= l.Dies {
+			continue
+		}
+		above := byX(byDie[d+1])
+		for _, a := range order {
+			ra := l.Rects[a]
+			for _, b := range above {
+				rb := l.Rects[b]
+				if rb.X >= ra.MaxX() {
+					break
+				}
+				if rb.MaxX() <= ra.X {
+					continue
+				}
+				if ra.OverlapArea(rb) > 0 {
+					record(a, b)
+				}
+			}
+		}
+	}
+	// Emit in the all-pairs order: ascending (a, b).
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	for _, p := range pairs {
+		adj[p[0]] = append(adj[p[0]], p[1])
+		adj[p[1]] = append(adj[p[1]], p[0])
 	}
 	return adj
 }

@@ -41,32 +41,76 @@ func (o Op) String() string {
 	}
 }
 
+// Move describes one applied perturbation: the operator, the dies whose
+// packing it invalidated, and — per die — the earliest sequence position the
+// move touched. The incremental cost evaluator repacks only Move.Dies, and
+// with a DiePacker only from Move.Starts onward; everything else in the
+// layout is untouched by construction (each die's skyline packing depends
+// only on that die's own sequence, directions, rotations, and aspects, and
+// a placement depends only on the sequence prefix before it).
+type Move struct {
+	Op Op
+	// Dies holds the die indices whose packings changed, deduplicated.
+	// For a swap it is both modules' dies; for a cross-die move the source
+	// and destination; for the single-module operators the module's die.
+	Dies []int
+	// Starts[i] is the earliest sequence position of Dies[i] affected by
+	// the move; placements before it are unchanged.
+	Starts []int
+}
+
+// Touch records a die in the move with the earliest affected sequence
+// position, deduplicating dies and keeping the minimum position.
+func (mv *Move) Touch(d, start int) {
+	for i, e := range mv.Dies {
+		if e == d {
+			if start < mv.Starts[i] {
+				mv.Starts[i] = start
+			}
+			return
+		}
+	}
+	mv.Dies = append(mv.Dies, d)
+	mv.Starts = append(mv.Starts, start)
+}
+
 // Perturb applies one random operator and returns an undo closure restoring
 // the previous state exactly. The returned Op reports which operator ran.
 func (fp *Floorplan) Perturb(rng *rand.Rand) (Op, func()) {
+	mv, undo := fp.PerturbMove(rng)
+	return mv.Op, undo
+}
+
+// PerturbMove is Perturb returning the full Move record, the contract the
+// incremental evaluator builds on: after the move (and equally after its
+// undo), only the packings of Move.Dies may differ from before.
+func (fp *Floorplan) PerturbMove(rng *rand.Rand) (Move, func()) {
 	for {
 		op := Op(rng.Intn(int(numOps)))
-		if undo, ok := fp.apply(op, rng); ok {
-			return op, undo
+		if mv, undo, ok := fp.apply(op, rng); ok {
+			return mv, undo
 		}
 	}
 }
 
-func (fp *Floorplan) apply(op Op, rng *rand.Rand) (func(), bool) {
+func (fp *Floorplan) apply(op Op, rng *rand.Rand) (Move, func(), bool) {
 	n := len(fp.Design.Modules)
+	mv := Move{Op: op}
 	switch op {
 	case OpSwap:
 		if n < 2 {
-			return nil, false
+			return mv, nil, false
 		}
 		a, b := rng.Intn(n), rng.Intn(n)
 		if a == b {
-			return nil, false
+			return mv, nil, false
 		}
 		da, ia := fp.locate(a)
 		db, ib := fp.locate(b)
 		fp.seq[da][ia], fp.seq[db][ib] = fp.seq[db][ib], fp.seq[da][ia]
-		return func() {
+		mv.Touch(da, ia)
+		mv.Touch(db, ib)
+		return mv, func() {
 			fp.seq[da][ia], fp.seq[db][ib] = fp.seq[db][ib], fp.seq[da][ia]
 		}, true
 
@@ -84,7 +128,9 @@ func (fp *Floorplan) apply(op Op, rng *rand.Rand) (func(), bool) {
 		fp.seq[nd] = append(fp.seq[nd], 0)
 		copy(fp.seq[nd][ni+1:], fp.seq[nd][ni:])
 		fp.seq[nd][ni] = mi
-		return func() {
+		mv.Touch(d, i)
+		mv.Touch(nd, ni)
+		return mv, func() {
 			fp.seq[nd] = append(fp.seq[nd][:ni], fp.seq[nd][ni+1:]...)
 			fp.seq[d] = append(fp.seq[d], 0)
 			copy(fp.seq[d][i+1:], fp.seq[d][i:])
@@ -94,13 +140,15 @@ func (fp *Floorplan) apply(op Op, rng *rand.Rand) (func(), bool) {
 	case OpRotate:
 		mi := rng.Intn(n)
 		fp.rot[mi] = !fp.rot[mi]
-		return func() { fp.rot[mi] = !fp.rot[mi] }, true
+		d, i := fp.locate(mi)
+		mv.Touch(d, i)
+		return mv, func() { fp.rot[mi] = !fp.rot[mi] }, true
 
 	case OpResize:
 		mi := rng.Intn(n)
 		m := fp.Design.Modules[mi]
 		if m.Kind != netlist.Soft {
-			return nil, false
+			return mv, nil, false
 		}
 		old := fp.aspect[mi]
 		// Random walk on the aspect ratio within the module's bounds.
@@ -109,14 +157,18 @@ func (fp *Floorplan) apply(op Op, rng *rand.Rand) (func(), bool) {
 		if fp.aspect[mi] == old {
 			fp.aspect[mi] = clamp(old/f, m.MinAspect, m.MaxAspect)
 		}
-		return func() { fp.aspect[mi] = old }, true
+		d, i := fp.locate(mi)
+		mv.Touch(d, i)
+		return mv, func() { fp.aspect[mi] = old }, true
 
 	case OpFlipDir:
 		mi := rng.Intn(n)
 		fp.dir[mi] ^= 1
-		return func() { fp.dir[mi] ^= 1 }, true
+		d, i := fp.locate(mi)
+		mv.Touch(d, i)
+		return mv, func() { fp.dir[mi] ^= 1 }, true
 	}
-	return nil, false
+	return mv, nil, false
 }
 
 // locate returns the die and sequence index of module mi. Panics if absent

@@ -261,15 +261,26 @@ func spatialEntropyFromClasses(power *geom.Grid, classOf []int) float64 {
 			ys[c] = append(ys[c], float64(j))
 		}
 	}
-	// Precompute over all bins for the inter-class sums.
-	allX := make([]float64, 0, len(classOf))
-	allY := make([]float64, 0, len(classOf))
-	for j := 0; j < ny; j++ {
-		for i := 0; i < nx; i++ {
-			allX = append(allX, float64(i))
-			allY = append(allY, float64(j))
+	// Precompute the sorted coordinate multisets of ALL bins once, with
+	// prefix sums: every class's inter-class cross sum then costs
+	// O(|class| log n) against them instead of re-sorting the full grid
+	// per class. (These multisets are sorted by construction: each x value
+	// appears ny times, each y value nx times.)
+	n := len(classOf)
+	sortedAllX := make([]float64, 0, n)
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			sortedAllX = append(sortedAllX, float64(i))
 		}
 	}
+	sortedAllY := make([]float64, 0, n)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			sortedAllY = append(sortedAllY, float64(j))
+		}
+	}
+	prefX := prefixSums(sortedAllX)
+	prefY := prefixSums(sortedAllY)
 
 	S := 0.0
 	for c := 0; c < nClasses; c++ {
@@ -283,7 +294,7 @@ func spatialEntropyFromClasses(power *geom.Grid, classOf []int) float64 {
 			continue
 		}
 		dIntra := avgIntraManhattan(xs[c], ys[c])
-		dInter := avgInterManhattan(xs[c], ys[c], allX, allY)
+		dInter := avgInterManhattanPre(xs[c], ys[c], sortedAllX, prefX, sortedAllY, prefY)
 		if dIntra <= 0 {
 			// Single-member (or co-located) class: treat the ratio as its
 			// upper bound contribution using the cell pitch as distance.
@@ -329,43 +340,49 @@ func sumPairwiseAbs(v []float64) float64 {
 	return total
 }
 
-// avgInterManhattan returns the average Manhattan distance between members
-// of a class (cx, cy) and all *other* bins, where (allX, allY) enumerate
-// every bin. Computed in O(n log n) via cross-set separable sums.
-func avgInterManhattan(cx, cy, allX, allY []float64) float64 {
+// avgInterManhattanPre returns the average Manhattan distance between
+// members of a class (cx, cy) and all *other* bins, given the pre-sorted
+// coordinate multisets of every bin and their prefix sums. Cost is
+// O(|class| log n) — the class members are looked up against the shared
+// sorted arrays instead of re-sorting the grid per class.
+func avgInterManhattanPre(cx, cy, sortedAllX, prefX, sortedAllY, prefY []float64) float64 {
 	nC := len(cx)
-	nAll := len(allX)
+	nAll := len(sortedAllX)
 	nOther := nAll - nC
 	if nC == 0 || nOther <= 0 {
 		return 0
 	}
 	// sum over (a in class, b in all) - sum over (a in class, b in class).
-	crossAll := sumCrossAbs(cx, allX) + sumCrossAbs(cy, allY)
+	crossAll := sumCrossAbsSorted(cx, sortedAllX, prefX) + sumCrossAbsSorted(cy, sortedAllY, prefY)
 	withinPairs := 2 * (sumPairwiseAbs(cx) + sumPairwiseAbs(cy)) // ordered pairs
 	inter := crossAll - withinPairs
 	return inter / (float64(nC) * float64(nOther))
 }
 
-// sumCrossAbs returns sum over a in A, b in B of |a - b| in O((n+m) log(n+m)).
-func sumCrossAbs(A, B []float64) float64 {
-	a := append([]float64(nil), A...)
-	b := append([]float64(nil), B...)
-	sort.Float64s(a)
-	sort.Float64s(b)
-	// For each b_j, sum over a of |a - b_j| using prefix sums of a.
-	prefix := make([]float64, len(a)+1)
-	for i, x := range a {
-		prefix[i+1] = prefix[i] + x
-	}
+// sumCrossAbsSorted returns sum over a in A, b in B of |a - b|, where B is
+// already sorted and prefixB holds its prefix sums (prefixB[k] = sum of the
+// first k elements). O(|A| log |B|).
+func sumCrossAbsSorted(A, sortedB, prefixB []float64) float64 {
+	nB := len(sortedB)
+	sumB := prefixB[nB]
 	total := 0.0
-	for _, x := range b {
-		// Number of a's <= x.
-		k := sort.SearchFloat64s(a, x)
-		left := float64(k)*x - prefix[k]
-		right := (prefix[len(a)] - prefix[k]) - float64(len(a)-k)*x
+	for _, x := range A {
+		// Number of b's < x (ties split either way: |x - b| is 0 at ties).
+		k := sort.SearchFloat64s(sortedB, x)
+		left := float64(k)*x - prefixB[k]
+		right := (sumB - prefixB[k]) - float64(nB-k)*x
 		total += left + right
 	}
 	return total
+}
+
+// prefixSums returns p with p[k] = sum of the first k elements.
+func prefixSums(v []float64) []float64 {
+	p := make([]float64, len(v)+1)
+	for i, x := range v {
+		p[i+1] = p[i] + x
+	}
+	return p
 }
 
 // Report bundles the per-die leakage metrics for convenience.

@@ -3,6 +3,7 @@ package leakage
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -268,7 +269,7 @@ func TestSumCrossAbs(t *testing.T) {
 	a := []float64{0, 2}
 	b := []float64{1, 3}
 	// |0-1|+|0-3|+|2-1|+|2-3| = 1+3+1+1 = 6
-	if got := sumCrossAbs(a, b); got != 6 {
+	if got := sumCrossAbsSorted(a, b, prefixSums(b)); got != 6 {
 		t.Fatalf("got %v", got)
 	}
 }
@@ -299,13 +300,42 @@ func TestAvgInterManhattanBruteForce(t *testing.T) {
 	// Class = bins {(0,0), (1,0)}; all = 2x2 grid.
 	cx := []float64{0, 1}
 	cy := []float64{0, 0}
-	allX := []float64{0, 1, 0, 1}
-	allY := []float64{0, 0, 1, 1}
+	sortedAllX := []float64{0, 0, 1, 1}
+	sortedAllY := []float64{0, 0, 1, 1}
 	// Others: (0,1), (1,1).
 	// d((0,0),(0,1)) = 1; d((0,0),(1,1)) = 2; d((1,0),(0,1)) = 2; d((1,0),(1,1)) = 1.
 	want := (1.0 + 2 + 2 + 1) / 4
-	if got := avgInterManhattan(cx, cy, allX, allY); math.Abs(got-want) > 1e-9 {
+	got := avgInterManhattanPre(cx, cy, sortedAllX, prefixSums(sortedAllX), sortedAllY, prefixSums(sortedAllY))
+	if math.Abs(got-want) > 1e-9 {
 		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+// TestSumCrossAbsSortedBruteForce pins the shared-prefix cross sum against a
+// direct double loop on random inputs.
+func TestSumCrossAbsSortedBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		A := make([]float64, 1+rng.Intn(12))
+		B := make([]float64, 1+rng.Intn(30))
+		for i := range A {
+			A[i] = math.Floor(rng.Float64() * 8)
+		}
+		for i := range B {
+			B[i] = math.Floor(rng.Float64() * 8)
+		}
+		want := 0.0
+		for _, a := range A {
+			for _, b := range B {
+				want += math.Abs(a - b)
+			}
+		}
+		sorted := append([]float64(nil), B...)
+		sort.Float64s(sorted)
+		got := sumCrossAbsSorted(A, sorted, prefixSums(sorted))
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: got %v want %v", trial, got, want)
+		}
 	}
 }
 

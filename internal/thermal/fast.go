@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/geom"
+	"repro/internal/par"
 )
 
 // FastEstimator is the in-loop thermal analysis: per (source die, target
@@ -21,17 +22,37 @@ type FastEstimator struct {
 	// (in cells) on target die t for a unit impulse on source die s.
 	amp   [][]float64
 	sigma [][]float64
+	// workers bounds the goroutines fanned out per convolution pass;
+	// 0 selects GOMAXPROCS, 1 forces the serial path. Blur outputs are
+	// byte-identical for every worker count (each output cell is computed
+	// independently).
+	workers int
 }
+
+// SetWorkers bounds the goroutines used by the separable convolutions.
+// 0 selects GOMAXPROCS; 1 forces the serial path. Results are identical for
+// every setting.
+func (fe *FastEstimator) SetWorkers(n int) { fe.workers = n }
 
 // CalibrateFast builds a FastEstimator for the given stack configuration by
 // running one detailed impulse solve per die. The stack's currently
 // installed power and TSV maps are not consulted; calibration uses a clean
-// TSV-free stack of the same configuration.
+// TSV-free stack of the same configuration. The impulse solves use the
+// default worker fan-out; use CalibrateFastWorkers to bound it.
 func CalibrateFast(cfg Config) *FastEstimator {
+	return CalibrateFastWorkers(cfg, 0)
+}
+
+// CalibrateFastWorkers is CalibrateFast with the calibration solves (and the
+// returned estimator's convolutions) bounded to `workers` goroutines —
+// 0 selects GOMAXPROCS, 1 forces the serial path. Results are identical for
+// every setting.
+func CalibrateFastWorkers(cfg Config, workers int) *FastEstimator {
 	fe := &FastEstimator{
 		nx: cfg.NX, ny: cfg.NY, dies: cfg.Dies, ambient: cfg.Ambient,
-		amp:   make([][]float64, cfg.Dies),
-		sigma: make([][]float64, cfg.Dies),
+		amp:     make([][]float64, cfg.Dies),
+		sigma:   make([][]float64, cfg.Dies),
+		workers: workers,
 	}
 	stack := NewStack(cfg)
 	ci, cj := cfg.NX/2, cfg.NY/2
@@ -45,7 +66,7 @@ func CalibrateFast(cfg Config) *FastEstimator {
 		imp := geom.NewGrid(cfg.NX, cfg.NY)
 		imp.Set(ci, cj, 1.0)
 		stack.SetDiePower(src, imp)
-		sol, _ := stack.SolveSteady(nil, SolverOpts{Tol: 1e-6})
+		sol, _ := stack.SolveSteady(nil, SolverOpts{Tol: 1e-6, Workers: workers})
 		for tgt := 0; tgt < cfg.Dies; tgt++ {
 			dt := sol.DieTemp(tgt)
 			// Response above the die's far-field (baseline) temperature.
@@ -81,6 +102,53 @@ func CalibrateFast(cfg Config) *FastEstimator {
 	return fe
 }
 
+// Response returns source die s's scaled contribution to every target die's
+// temperature map for the given power map: Response(p, s)[t] =
+// amp[s][t] * blur(p, sigma[s][t]). It is the unit of work the incremental
+// cost evaluator caches — when only one die's power map changes between
+// annealing moves, the other sources' responses are reused verbatim.
+func (fe *FastEstimator) Response(power *geom.Grid, s int) []*geom.Grid {
+	out := make([]*geom.Grid, fe.dies)
+	for t := 0; t < fe.dies; t++ {
+		b := gaussianBlur(power, fe.sigma[s][t], fe.workers)
+		b.ScaleBy(fe.amp[s][t])
+		out[t] = b
+	}
+	return out
+}
+
+// Combine sums per-source responses (as returned by Response, indexed
+// resp[source][target]) plus the ambient offset into per-die temperature
+// maps. Estimate(power) == Combine over each source's Response — byte for
+// byte, which is what lets cached and freshly-computed responses mix.
+func (fe *FastEstimator) Combine(resp [][]*geom.Grid) []*geom.Grid {
+	return fe.CombineInto(resp, nil)
+}
+
+// CombineInto is Combine reusing a previously returned output slice (nil
+// allocates a fresh one) — the annealing loop calls it once per move, so
+// the per-die grids are worth recycling.
+func (fe *FastEstimator) CombineInto(resp [][]*geom.Grid, out []*geom.Grid) []*geom.Grid {
+	if len(resp) != fe.dies {
+		panic("thermal: response count must equal die count")
+	}
+	if len(out) != fe.dies {
+		out = make([]*geom.Grid, fe.dies)
+	}
+	for t := 0; t < fe.dies; t++ {
+		if out[t] == nil || out[t].NX != fe.nx || out[t].NY != fe.ny {
+			out[t] = geom.NewGrid(fe.nx, fe.ny)
+		}
+		out[t].Fill(fe.ambient)
+	}
+	for s := 0; s < fe.dies; s++ {
+		for t := 0; t < fe.dies; t++ {
+			out[t].AddGrid(resp[s][t])
+		}
+	}
+	return out
+}
+
 // Estimate returns the estimated temperature map (K) of each die given the
 // per-die power maps (W per cell). Superposition of blurred sources plus the
 // ambient offset.
@@ -88,20 +156,11 @@ func (fe *FastEstimator) Estimate(power []*geom.Grid) []*geom.Grid {
 	if len(power) != fe.dies {
 		panic("thermal: power map count must equal die count")
 	}
-	out := make([]*geom.Grid, fe.dies)
-	for t := 0; t < fe.dies; t++ {
-		g := geom.NewGrid(fe.nx, fe.ny)
-		g.Fill(fe.ambient)
-		out[t] = g
-	}
+	resp := make([][]*geom.Grid, fe.dies)
 	for s := 0; s < fe.dies; s++ {
-		for t := 0; t < fe.dies; t++ {
-			blurred := gaussianBlur(power[s], fe.sigma[s][t])
-			blurred.ScaleBy(fe.amp[s][t])
-			out[t].AddGrid(blurred)
-		}
+		resp[s] = fe.Response(power[s], s)
 	}
-	return out
+	return fe.Combine(resp)
 }
 
 // EstimateDie is Estimate restricted to one target die.
@@ -109,7 +168,7 @@ func (fe *FastEstimator) EstimateDie(power []*geom.Grid, target int) *geom.Grid 
 	g := geom.NewGrid(fe.nx, fe.ny)
 	g.Fill(fe.ambient)
 	for s := 0; s < fe.dies; s++ {
-		blurred := gaussianBlur(power[s], fe.sigma[s][target])
+		blurred := gaussianBlur(power[s], fe.sigma[s][target], fe.workers)
 		blurred.ScaleBy(fe.amp[s][target])
 		g.AddGrid(blurred)
 	}
@@ -130,7 +189,7 @@ func (fe *FastEstimator) Adjoint(residuals []*geom.Grid) []*geom.Grid {
 	for s := 0; s < fe.dies; s++ {
 		g := geom.NewGrid(fe.nx, fe.ny)
 		for t := 0; t < fe.dies; t++ {
-			b := gaussianBlur(residuals[t], fe.sigma[s][t])
+			b := gaussianBlur(residuals[t], fe.sigma[s][t], fe.workers)
 			b.ScaleBy(fe.amp[s][t])
 			g.AddGrid(b)
 		}
@@ -155,8 +214,10 @@ func (fe *FastEstimator) Rises(power []*geom.Grid) []*geom.Grid {
 func (fe *FastEstimator) Dies() int { return fe.dies }
 
 // gaussianBlur applies a separable normalized Gaussian of the given sigma
-// (in cells) with reflective boundaries.
-func gaussianBlur(g *geom.Grid, sigma float64) *geom.Grid {
+// (in cells) with reflective boundaries. The two passes fan their rows
+// across `workers` goroutines (0 = GOMAXPROCS); every output cell is
+// computed independently, so the result does not depend on the fan-out.
+func gaussianBlur(g *geom.Grid, sigma float64, workers int) *geom.Grid {
 	if sigma <= 0 {
 		return g.Clone()
 	}
@@ -175,31 +236,50 @@ func gaussianBlur(g *geom.Grid, sigma float64) *geom.Grid {
 		kernel[i] /= sum
 	}
 	nx, ny := g.NX, g.NY
+	workers = blurWorkers(workers, nx, ny, radius)
 	tmp := geom.NewGrid(nx, ny)
 	// Horizontal pass.
-	for j := 0; j < ny; j++ {
-		for i := 0; i < nx; i++ {
-			acc := 0.0
-			for k := -radius; k <= radius; k++ {
-				ii := reflect(i+k, nx)
-				acc += kernel[k+radius] * g.At(ii, j)
+	par.For(workers, ny, func(jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			for i := 0; i < nx; i++ {
+				acc := 0.0
+				for k := -radius; k <= radius; k++ {
+					ii := reflect(i+k, nx)
+					acc += kernel[k+radius] * g.At(ii, j)
+				}
+				tmp.Set(i, j, acc)
 			}
-			tmp.Set(i, j, acc)
 		}
-	}
+	})
 	out := geom.NewGrid(nx, ny)
 	// Vertical pass.
-	for j := 0; j < ny; j++ {
-		for i := 0; i < nx; i++ {
-			acc := 0.0
-			for k := -radius; k <= radius; k++ {
-				jj := reflect(j+k, ny)
-				acc += kernel[k+radius] * tmp.At(i, jj)
+	par.For(workers, ny, func(jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			for i := 0; i < nx; i++ {
+				acc := 0.0
+				for k := -radius; k <= radius; k++ {
+					jj := reflect(j+k, ny)
+					acc += kernel[k+radius] * tmp.At(i, jj)
+				}
+				out.Set(i, j, acc)
 			}
-			out.Set(i, j, acc)
 		}
-	}
+	})
 	return out
+}
+
+// blurWorkers bounds the convolution fan-out by the actual work volume
+// (cells x kernel taps) so small blurs stay serial. Deterministic: depends
+// only on the blur dimensions.
+func blurWorkers(requested, nx, ny, radius int) int {
+	w := par.Workers(requested)
+	if limit := nx * ny * (2*radius + 1) / 16384; w > limit {
+		w = limit
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 func reflect(i, n int) int {

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/geom"
+	"repro/internal/par"
 )
 
 // Solution holds a solved temperature field in Kelvin.
@@ -26,6 +28,11 @@ type SolverOpts struct {
 	Tol       float64 // max per-sweep update in K; default 1e-5
 	MaxSweeps int     // default 20000
 	Omega     float64 // SOR relaxation; 0 selects an automatic value
+	// Workers bounds the goroutines fanned out per red-black half-sweep.
+	// 0 selects GOMAXPROCS; 1 forces the serial path. The solve result is
+	// byte-identical for every worker count: red-black ordering makes each
+	// half-sweep's updates independent of execution order.
+	Workers int
 	// Ctx, when non-nil, is polled between sweeps; on cancellation the
 	// solver returns its current iterate with Stats.Converged false. Callers
 	// that thread a context must check it after the solve.
@@ -70,24 +77,68 @@ func (s *Stack) SolveSteady(prev *Solution, opts SolverOpts) (*Solution, Stats) 
 	return &Solution{stack: s, T: T}, stats
 }
 
-// sor runs SOR sweeps in place until converged.
+// sor runs red-black SOR sweeps in place until converged.
 func (s *Stack) sor(T []float64, opts SolverOpts) Stats {
-	nx, ny, nl := s.nx, s.ny, s.nl
-	plane := nx * ny
+	rhs := make([]float64, s.NumCells())
 	amb := s.Cfg.Ambient
-	w := opts.Omega
+	for id := range rhs {
+		rhs[id] = s.power[id] + s.gAmb[id]*amb
+	}
+	workers := s.solveWorkers(opts.Workers)
 	var st Stats
 	for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
 		if opts.Ctx != nil && opts.Ctx.Err() != nil {
 			return st
 		}
-		maxUpd := 0.0
-		for l := 0; l < nl; l++ {
-			for j := 0; j < ny; j++ {
-				base := (l*ny + j) * nx
-				for i := 0; i < nx; i++ {
+		maxUpd := s.rbSweep(T, rhs, nil, opts.Omega, workers)
+		st.Sweeps = sweep + 1
+		st.Residual = maxUpd
+		if maxUpd < opts.Tol {
+			st.Converged = true
+			return st
+		}
+	}
+	return st
+}
+
+// solveWorkers bounds the fan-out so small stacks stay on the serial path:
+// below a few thousand cells the per-sweep goroutine overhead outweighs the
+// work. The bound depends only on the problem size, never on the scheduler,
+// so results stay deterministic.
+func (s *Stack) solveWorkers(requested int) int {
+	w := par.Workers(requested)
+	if limit := s.NumCells() / 2048; w > limit {
+		w = limit
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// rbSweep runs one red-black SOR sweep (red half, then black half) over T
+// and returns the largest absolute cell update. Cells are colored by
+// (i+j+l) parity; every neighbour of a cell has the opposite color, so all
+// reads within a half-sweep are of values not written by it. That makes the
+// update order immaterial and the result byte-identical for any worker
+// count. extraDiag, when non-nil, is added per cell to the operator diagonal
+// (the implicit-Euler capacitance term of the transient solver).
+func (s *Stack) rbSweep(T, rhs, extraDiag []float64, w float64, workers int) float64 {
+	nx, ny, nl := s.nx, s.ny, s.nl
+	plane := nx * ny
+	rows := nl * ny
+	maxUpd := 0.0
+	var mu sync.Mutex
+	for color := 0; color < 2; color++ {
+		par.For(workers, rows, func(rlo, rhi int) {
+			m := 0.0
+			for r := rlo; r < rhi; r++ {
+				l := r / ny
+				j := r - l*ny
+				base := r * nx
+				for i := (color + j + l) & 1; i < nx; i += 2 {
 					id := base + i
-					num := s.power[id] + s.gAmb[id]*amb
+					num := rhs[id]
 					if i > 0 {
 						num += s.gE[id-1] * T[id-1]
 					}
@@ -106,23 +157,25 @@ func (s *Stack) sor(T []float64, opts SolverOpts) Stats {
 					if l+1 < nl {
 						num += s.gU[id] * T[id+plane]
 					}
-					tNew := (1-w)*T[id] + w*num/s.diag[id]
-					upd := math.Abs(tNew - T[id])
-					if upd > maxUpd {
-						maxUpd = upd
+					den := s.diag[id]
+					if extraDiag != nil {
+						den += extraDiag[id]
+					}
+					tNew := (1-w)*T[id] + w*num/den
+					if upd := math.Abs(tNew - T[id]); upd > m {
+						m = upd
 					}
 					T[id] = tNew
 				}
 			}
-		}
-		st.Sweeps = sweep + 1
-		st.Residual = maxUpd
-		if maxUpd < opts.Tol {
-			st.Converged = true
-			return st
-		}
+			mu.Lock()
+			if m > maxUpd {
+				maxUpd = m
+			}
+			mu.Unlock()
+		})
 	}
-	return st
+	return maxUpd
 }
 
 // SolveTransient advances the field from an initial solution (nil = ambient)
@@ -132,6 +185,12 @@ func (s *Stack) sor(T []float64, opts SolverOpts) Stats {
 // maps); nil keeps power constant. Returns the trajectory of solutions
 // sampled every `sample` steps (sample<=0 records only the final state).
 func (s *Stack) SolveTransient(init *Solution, dt float64, steps, sample int, powerAt func(step int) float64) []*Solution {
+	return s.SolveTransientOpts(init, dt, steps, sample, powerAt, SolverOpts{Tol: 1e-5, MaxSweeps: 4000})
+}
+
+// SolveTransientOpts is SolveTransient with explicit solver options
+// (tolerance, sweep cap, relaxation, worker count).
+func (s *Stack) SolveTransientOpts(init *Solution, dt float64, steps, sample int, powerAt func(step int) float64, opts SolverOpts) []*Solution {
 	if s.dirty {
 		s.rebuild()
 	}
@@ -158,55 +217,28 @@ func (s *Stack) SolveTransient(init *Solution, dt float64, steps, sample int, po
 	defer copy(s.power, basePower)
 
 	var out []*Solution
-	opts := SolverOpts{Tol: 1e-5, MaxSweeps: 4000}
+	if opts.Tol == 0 {
+		opts.Tol = 1e-5
+	}
+	if opts.MaxSweeps == 0 {
+		opts.MaxSweeps = 4000
+	}
 	opts.defaults(s.nx, s.ny)
-	plane := s.nx * s.ny
+	workers := s.solveWorkers(opts.Workers)
 	amb := s.Cfg.Ambient
+	rhs := make([]float64, n)
 	for step := 0; step < steps; step++ {
 		scale := 1.0
 		if powerAt != nil {
 			scale = powerAt(step)
 		}
-		// Implicit Euler: (C/dt + G) T_new = C/dt T_old + q.
-		// Reuse the SOR kernel by treating C/dt as an extra ambient-like
-		// link toward T_old.
-		Told := append([]float64(nil), T...)
+		// Implicit Euler: (C/dt + G) T_new = C/dt T_old + q. Reuse the SOR
+		// kernel by treating C/dt as an extra ambient-like link toward T_old.
+		for id := range rhs {
+			rhs[id] = basePower[id]*scale + s.gAmb[id]*amb + cOverDT[id]*T[id]
+		}
 		for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
-			maxUpd := 0.0
-			for l := 0; l < s.nl; l++ {
-				for j := 0; j < s.ny; j++ {
-					base := (l*s.ny + j) * s.nx
-					for i := 0; i < s.nx; i++ {
-						id := base + i
-						num := basePower[id]*scale + s.gAmb[id]*amb + cOverDT[id]*Told[id]
-						if i > 0 {
-							num += s.gE[id-1] * T[id-1]
-						}
-						if i+1 < s.nx {
-							num += s.gE[id] * T[id+1]
-						}
-						if j > 0 {
-							num += s.gN[id-s.nx] * T[id-s.nx]
-						}
-						if j+1 < s.ny {
-							num += s.gN[id] * T[id+s.nx]
-						}
-						if l > 0 {
-							num += s.gU[id-plane] * T[id-plane]
-						}
-						if l+1 < s.nl {
-							num += s.gU[id] * T[id+plane]
-						}
-						den := s.diag[id] + cOverDT[id]
-						tNew := (1-opts.Omega)*T[id] + opts.Omega*num/den
-						if u := math.Abs(tNew - T[id]); u > maxUpd {
-							maxUpd = u
-						}
-						T[id] = tNew
-					}
-				}
-			}
-			if maxUpd < opts.Tol {
+			if s.rbSweep(T, rhs, cOverDT, opts.Omega, workers) < opts.Tol {
 				break
 			}
 		}

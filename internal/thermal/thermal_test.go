@@ -332,7 +332,7 @@ func TestFastEstimatorTracksDetailed(t *testing.T) {
 func TestGaussianBlurPreservesMass(t *testing.T) {
 	g := geom.NewGrid(16, 16)
 	g.Set(8, 8, 3)
-	b := gaussianBlur(g, 2.0)
+	b := gaussianBlur(g, 2.0, 1)
 	if math.Abs(b.Sum()-3) > 1e-9 {
 		t.Fatalf("blur changed total mass: %v", b.Sum())
 	}
@@ -341,7 +341,7 @@ func TestGaussianBlurPreservesMass(t *testing.T) {
 func TestGaussianBlurZeroSigmaIdentity(t *testing.T) {
 	g := geom.NewGrid(4, 4)
 	g.Set(1, 2, 5)
-	b := gaussianBlur(g, 0)
+	b := gaussianBlur(g, 0, 1)
 	for i := range g.Data {
 		if g.Data[i] != b.Data[i] {
 			t.Fatal("sigma=0 must be identity")

@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"repro/internal/floorplan"
+	"repro/internal/netlist"
 )
 
 // Params holds the interconnect parasitics. Units: resistance kOhm,
@@ -66,26 +67,52 @@ type Analysis struct {
 // delayScale[m] multiplies module m's intrinsic delay (nil = all 1.0, the
 // 1.0 V reference).
 func Analyze(l *floorplan.Layout, delayScale []float64, p Params) *Analysis {
-	nMod := len(l.Design.Modules)
-	a := &Analysis{
-		NetDelay:    make([]float64, len(l.Design.Nets)),
-		Arrive:      make([]float64, nMod),
-		Depart:      make([]float64, nMod),
-		ModuleDelay: make([]float64, nMod),
+	netDelay := make([]float64, len(l.Design.Nets))
+	for ni := range l.Design.Nets {
+		netDelay[ni] = NetElmore(l, ni, p)
 	}
-	for m, mod := range l.Design.Modules {
+	// The Into form aliases the just-built slice instead of copying it.
+	return AnalyzeFromNetDelaysInto(l.Design, netDelay, delayScale, &Analysis{})
+}
+
+// AnalyzeFromNetDelays runs the STA pass over precomputed per-net Elmore
+// delays (in ns), bypassing the geometric estimation. Given the delays
+// Analyze would compute, it returns an identical Analysis — this is the
+// entry point for the incremental cost evaluator, which keeps the per-net
+// delays cached across annealing moves and recomputes only the nets touched
+// by a move. netDelay is copied, not retained.
+func AnalyzeFromNetDelays(des *netlist.Design, netDelay []float64, delayScale []float64) *Analysis {
+	return AnalyzeFromNetDelaysInto(des, netDelay, delayScale, nil)
+}
+
+// AnalyzeFromNetDelaysInto is AnalyzeFromNetDelays reusing the slices of a
+// previous Analysis (nil allocates a fresh one) — the annealing loop runs
+// one to two STA passes per move, so the buffers are worth recycling. The
+// returned Analysis is `into` when provided; its previous contents are
+// overwritten, and its NetDelay field ALIASES the caller's netDelay slice
+// (unlike AnalyzeFromNetDelays, which copies).
+func AnalyzeFromNetDelaysInto(des *netlist.Design, netDelay []float64, delayScale []float64, into *Analysis) *Analysis {
+	nMod := len(des.Modules)
+	a := into
+	if a == nil {
+		a = &Analysis{NetDelay: append([]float64(nil), netDelay...)}
+	} else {
+		a.NetDelay = netDelay
+	}
+	a.Arrive = resizeZeroed(a.Arrive, nMod)
+	a.Depart = resizeZeroed(a.Depart, nMod)
+	a.ModuleDelay = resizeZeroed(a.ModuleDelay, nMod)
+	a.Critical = 0
+	for m, mod := range des.Modules {
 		s := 1.0
 		if delayScale != nil {
 			s = delayScale[m]
 		}
 		a.ModuleDelay[m] = mod.IntrinsicDelay * s
 	}
-	for ni := range l.Design.Nets {
-		a.NetDelay[ni] = NetElmore(l, ni, p)
-	}
 	// Orient each net from its lowest-index module pin to the others (the
 	// conventional driver heuristic for direction-less benchmarks).
-	for ni, n := range l.Design.Nets {
+	for ni, n := range des.Nets {
 		if len(n.Modules) < 2 {
 			continue
 		}
@@ -116,6 +143,18 @@ func Analyze(l *floorplan.Layout, delayScale []float64, p Params) *Analysis {
 	return a
 }
 
+// resizeZeroed returns s resized to n elements, all zero.
+func resizeZeroed(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
 // PathThrough returns the longest single-hop path touching module m in ns:
 // its own delay plus the worse of its worst incoming and outgoing stages.
 func (a *Analysis) PathThrough(m int) float64 {
@@ -135,20 +174,31 @@ func (a *Analysis) Slack(m int, target float64) float64 {
 func NetElmore(l *floorplan.Layout, ni int, p Params) float64 {
 	n := l.Design.Nets[ni]
 	length := l.NetHPWL(n, 0)
-	tsvs := 0
+	crossDie := false
 	die0 := -1
 	for _, mi := range n.Modules {
 		if die0 == -1 {
 			die0 = l.DieOf[mi]
 		} else if l.DieOf[mi] != die0 {
-			tsvs = 1
+			crossDie = true
 			break
 		}
 	}
-	if tsvs > 0 {
+	return ElmoreDelay(length, crossDie, n.Degree(), p)
+}
+
+// ElmoreDelay returns the Elmore delay (ns) of a net from its geometric
+// summary: the half-perimeter wirelength in um WITHOUT the vertical detour
+// (added here for cross-die nets), whether the net spans dies, and its pin
+// degree. NetElmore is exactly ElmoreDelay over the layout-derived summary;
+// the incremental evaluator calls this directly on its cached geometry.
+func ElmoreDelay(length float64, crossDie bool, degree int, p Params) float64 {
+	tsvs := 0
+	if crossDie {
+		tsvs = 1
 		length += p.VertLen
 	}
-	sinkPins := float64(n.Degree() - 1)
+	sinkPins := float64(degree - 1)
 	cTotal := p.CWire*length + p.CPin*sinkPins + p.CTSV*float64(tsvs)
 	// Driver sees the full load; the distributed wire adds R*C/2; the TSV
 	// adds its lumped RC charging the downstream half of the load.

@@ -138,21 +138,29 @@ func Assign(l *floorplan.Layout, ref *timing.Analysis, cfg Config) *Assignment {
 	// modules (paper Sec. 6.1), adding at each step the neighbour that best
 	// fits the mode's objective while the feasible-set intersection stays
 	// non-empty. Modules marked in blocked are never added.
+	//
+	// The membership test uses a stamped scratch array shared across the n
+	// per-root invocations (this runs inside the annealing loop's voltage
+	// refresh, so the hot path is allocation-lean), and candidate screening
+	// intersects the level masks in place without building the merged set.
+	inVol := make([]int, n)
+	stamp := 0
+	var frontier []int
 	grow := func(root int, blocked []bool) ([]int, []bool) {
-		inVol := map[int]bool{root: true}
+		stamp++
+		inVol[root] = stamp
 		members := []int{root}
 		inter := append([]bool(nil), feasible[root]...)
-		frontier := append([]int(nil), adj[root]...)
+		frontier = append(frontier[:0], adj[root]...)
 		for len(members) < cfg.MaxVolumeSize && len(frontier) > 0 {
 			bestIdx := -1
 			bestKey := math.Inf(1)
 			volDens := meanDensity(members, densities)
 			for fi, cand := range frontier {
-				if inVol[cand] || (blocked != nil && blocked[cand]) {
+				if inVol[cand] == stamp || (blocked != nil && blocked[cand]) {
 					continue
 				}
-				ni := intersect(inter, feasible[cand])
-				if !any(ni) {
+				if !anyBoth(inter, feasible[cand]) {
 					continue
 				}
 				var key float64
@@ -166,7 +174,7 @@ func Assign(l *floorplan.Layout, ref *timing.Analysis, cfg Config) *Assignment {
 				} else {
 					// Power-aware: prefer modules that allow the lowest
 					// voltage (largest power saving).
-					key = -savingOf(cand, ni, cfg.Levels, l)
+					key = -savingOfBoth(cand, inter, feasible[cand], cfg.Levels, l)
 				}
 				if key < bestKey {
 					bestKey, bestIdx = key, fi
@@ -177,14 +185,14 @@ func Assign(l *floorplan.Layout, ref *timing.Analysis, cfg Config) *Assignment {
 			}
 			pick := frontier[bestIdx]
 			frontier = append(frontier[:bestIdx], frontier[bestIdx+1:]...)
-			if inVol[pick] {
+			if inVol[pick] == stamp {
 				continue
 			}
-			inVol[pick] = true
-			inter = intersect(inter, feasible[pick])
+			inVol[pick] = stamp
+			intersectInto(inter, feasible[pick])
 			members = append(members, pick)
 			for _, nb := range adj[pick] {
-				if !inVol[nb] {
+				if inVol[nb] != stamp {
 					frontier = append(frontier, nb)
 				}
 			}
@@ -428,6 +436,41 @@ func intersect(a, b []bool) []bool {
 		out[i] = a[i] && b[i]
 	}
 	return out
+}
+
+// intersectInto folds b into a in place (the allocation-free intersect).
+func intersectInto(a, b []bool) {
+	for i := range a {
+		a[i] = a[i] && b[i]
+	}
+}
+
+// anyBoth reports whether the intersection of a and b is non-empty, without
+// materializing it.
+func anyBoth(a, b []bool) bool {
+	for i := range a {
+		if a[i] && b[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// savingOfBoth is savingOf over the implicit intersection of two masks.
+func savingOfBoth(m int, a, b []bool, levels []Level, l *floorplan.Layout) float64 {
+	var best *Level
+	for i := range a {
+		if !a[i] || !b[i] {
+			continue
+		}
+		if best == nil || levels[i].PowerScale < best.PowerScale {
+			best = &levels[i]
+		}
+	}
+	if best == nil {
+		return 0
+	}
+	return l.Design.Modules[m].Power * (1 - best.PowerScale)
 }
 
 func any(b []bool) bool {

@@ -1,0 +1,132 @@
+// Performance benchmarks for the two hot paths this repo optimizes: the
+// annealing loop's cost evaluation (incremental caches vs full recompute)
+// and the detailed thermal solver (parallel red-black SOR vs serial). See
+// docs/BENCHMARKS.md for the reproducible workflow and recorded baselines;
+// scripts/bench.sh runs the suite and archives results.
+//
+// The anneal-loop legs share every post-PR optimization (swept adjacency,
+// prefix-resumed packing, shared-prefix entropy sums), so their ratio
+// isolates the incremental caching itself. The recorded pre-PR wall-clock
+// baselines in docs/BENCHMARKS.md capture the full speedup.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/thermal"
+)
+
+// annealLoopRun executes the SA search (no post-processing) — the flow's
+// hot path — at a fixed budget so legs are comparable.
+func annealLoopRun(b *testing.B, name string, incremental bool, iters int) *core.Result {
+	b.Helper()
+	des := bench.MustGenerate(name)
+	post := false
+	inc := incremental
+	res, err := core.Run(des, core.Config{
+		Mode:            core.TSCAware,
+		SAIterations:    iters,
+		Seed:            1,
+		PostProcess:     &post,
+		IncrementalCost: &inc,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkAnnealLoop times the annealing loop with the incremental cost
+// evaluator against the full-recompute reference, on a small (n100) and a
+// large (ibm01) benchmark. Both legs must find the identical best floorplan
+// (asserted by TestFlowIncrementalMatchesFull in internal/core).
+func BenchmarkAnnealLoop(b *testing.B) {
+	iters := benchIters()
+	for _, name := range []string{"n100", "ibm01"} {
+		for _, leg := range []struct {
+			label       string
+			incremental bool
+		}{
+			{"full-recompute", false},
+			{"incremental", true},
+		} {
+			b.Run(fmt.Sprintf("%s/%s", name, leg.label), func(b *testing.B) {
+				var st core.EvalStats
+				for i := 0; i < b.N; i++ {
+					st = annealLoopRun(b, name, leg.incremental, iters).EvalStats
+				}
+				if st.Evals > 0 {
+					b.ReportMetric(float64(st.NetsReused)/float64(st.Evals), "nets_reused/eval")
+					b.ReportMetric(float64(st.DiesReused)/float64(st.Evals), "dies_reused/eval")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDetailedSolve times one steady-state solve of the detailed
+// red-black SOR solver, serial vs fanned across all cores. Both produce
+// byte-identical fields (TestParallelSteadySolveMatchesSerial).
+func BenchmarkDetailedSolve(b *testing.B) {
+	const n = 64
+	power := geom.NewGrid(n, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range power.Data {
+		power.Data[i] = rng.Float64() * 0.01
+	}
+	for _, leg := range []struct {
+		label   string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		b.Run(leg.label, func(b *testing.B) {
+			stack := thermal.NewStack(thermal.DefaultConfig(n, n, 4000, 4000, 2))
+			stack.SetDiePower(0, power)
+			stack.SetDiePower(1, power)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st := stack.SolveSteady(nil, thermal.SolverOpts{Tol: 1e-5, Workers: leg.workers})
+				if !st.Converged {
+					b.Fatal("solver did not converge")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFastEstimate times the in-loop power-blurring estimate, serial vs
+// parallel separable convolution.
+func BenchmarkFastEstimate(b *testing.B) {
+	const n = 64
+	fe := thermal.CalibrateFast(thermal.DefaultConfig(n, n, 4000, 4000, 2))
+	rng := rand.New(rand.NewSource(2))
+	maps := make([]*geom.Grid, 2)
+	for d := range maps {
+		maps[d] = geom.NewGrid(n, n)
+		for i := range maps[d].Data {
+			maps[d].Data[i] = rng.Float64() * 0.01
+		}
+	}
+	for _, leg := range []struct {
+		label   string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		b.Run(leg.label, func(b *testing.B) {
+			fe.SetWorkers(leg.workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fe.Estimate(maps)
+			}
+		})
+	}
+}

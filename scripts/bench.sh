@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Reproducible benchmark runner: executes the perf benchmark suite with
+# pinned seeds/budgets and archives raw output, a parsed CSV, and run
+# metadata under bench_results/<UTC timestamp>/ so perf trajectories can be
+# compared across commits. See docs/BENCHMARKS.md.
+#
+# Usage:
+#   scripts/bench.sh                 # short suite (default budgets)
+#   BENCH_TIME=3x scripts/bench.sh   # more repetitions per benchmark
+#   BENCH_FILTER='AnnealLoop' scripts/bench.sh
+#   OUT_DIR=/tmp/bench scripts/bench.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCH_FILTER="${BENCH_FILTER:-BenchmarkAnnealLoop|BenchmarkDetailedSolve|BenchmarkFastEstimate}"
+BENCH_TIME="${BENCH_TIME:-1x}"
+# Pinned workload knobs: the perf suite must measure the same work on every
+# commit. REPRO_BENCH_ITERS drives the anneal-loop budget (see bench_test.go).
+export REPRO_BENCH_ITERS="${REPRO_BENCH_ITERS:-800}"
+
+STAMP="$(date -u +%Y%m%dT%H%M%SZ)"
+OUT_DIR="${OUT_DIR:-bench_results/$STAMP}"
+mkdir -p "$OUT_DIR"
+
+RAW="$OUT_DIR/bench.txt"
+CSV="$OUT_DIR/bench.csv"
+META="$OUT_DIR/meta.json"
+
+cat > "$META" <<EOF
+{
+  "timestamp_utc": "$STAMP",
+  "git_rev": "$(git rev-parse HEAD 2>/dev/null || echo unknown)",
+  "git_dirty": $(if [ -n "$(git status --porcelain 2>/dev/null)" ]; then echo true; else echo false; fi),
+  "go_version": "$(go version | sed 's/"/\\"/g')",
+  "nproc": $(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1),
+  "bench_filter": "$BENCH_FILTER",
+  "bench_time": "$BENCH_TIME",
+  "repro_bench_iters": $REPRO_BENCH_ITERS
+}
+EOF
+
+echo "== benchmarks -> $OUT_DIR (filter: $BENCH_FILTER, benchtime: $BENCH_TIME)"
+go test -run 'XXX' -bench "$BENCH_FILTER" -benchtime "$BENCH_TIME" -benchmem . | tee "$RAW"
+
+# Parse `BenchmarkName/sub-case-N   iters   ns/op ...` lines into CSV.
+awk 'BEGIN { print "benchmark,iterations,ns_per_op,extra" }
+     /^Benchmark/ {
+       extra = ""
+       for (i = 4; i <= NF; i++) extra = extra (extra == "" ? "" : " ") $i
+       gsub(/,/, ";", extra)
+       printf "%s,%s,%s,%s\n", $1, $2, $3, extra
+     }' "$RAW" > "$CSV"
+
+echo
+echo "== results archived:"
+ls -l "$OUT_DIR"

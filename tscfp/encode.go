@@ -31,6 +31,11 @@ type Result struct {
 
 	Metrics Metrics `json:"metrics"`
 
+	// Stats reports the run's computational effort: annealing-loop
+	// evaluation counts (and how much work the incremental caches avoided)
+	// plus the detailed verification solve.
+	Stats RunStats `json:"stats"`
+
 	// PowerMaps and TempMaps are row-major per-die grids: power in W per
 	// cell, temperature in K.
 	GridN     int         `json:"grid_n"`
@@ -38,6 +43,36 @@ type Result struct {
 	TempMaps  [][]float64 `json:"temp_maps"`
 
 	raw *core.Result
+}
+
+// RunStats reports a run's computational effort. The counts are
+// deterministic for a fixed seed and configuration (they follow the move
+// sequence and acceptance decisions), but unlike the layout and metrics
+// they describe evaluator/solver effort — zero the struct when diffing
+// reports across seeds, budgets, or evaluator settings.
+type RunStats struct {
+	// Evals counts annealing-loop cost evaluations; IncrementalEvals of
+	// those were served from the incremental caches, FullEvals rebuilt every
+	// term from scratch.
+	Evals            int `json:"evals"`
+	FullEvals        int `json:"full_evals"`
+	IncrementalEvals int `json:"incremental_evals"`
+	// VoltRefreshes counts voltage-assignment re-runs (the VoltEvery stride).
+	VoltRefreshes int `json:"volt_refreshes"`
+	// DiesRepacked/DiesReused count per-die skyline packings run vs skipped;
+	// NetsRecomputed/NetsReused the per-net wirelength+delay refreshes;
+	// ResponsesComputed/ResponsesReused the per-source thermal blurs.
+	DiesRepacked      int `json:"dies_repacked"`
+	DiesReused        int `json:"dies_reused"`
+	NetsRecomputed    int `json:"nets_recomputed"`
+	NetsReused        int `json:"nets_reused"`
+	ResponsesComputed int `json:"responses_computed"`
+	ResponsesReused   int `json:"responses_reused"`
+	// SolverSweeps/SolverResidual/SolverConverged describe the detailed
+	// thermal verification solve of the finalize stage.
+	SolverSweeps    int     `json:"solver_sweeps"`
+	SolverResidual  float64 `json:"solver_residual"`
+	SolverConverged bool    `json:"solver_converged"`
 }
 
 // PlacedModule is one module of the final layout.

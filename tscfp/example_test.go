@@ -1,0 +1,70 @@
+package tscfp_test
+
+import (
+	"context"
+	"fmt"
+
+	"repro/tscfp"
+)
+
+// Example_sweep fans a small experiment campaign — two seeds in both modes —
+// out over the Sweep worker pool and tabulates the legality and metric
+// availability of every cell. Budgets are kept tiny so the example runs in
+// seconds; a real campaign raises WithIterations and the grid resolution.
+func Example_sweep() {
+	design := tscfp.MustBenchmark("n100")
+	results, err := tscfp.Sweep(context.Background(), tscfp.Grid{
+		Design: design,
+		Seeds:  []int64{1, 2},
+		Modes:  []tscfp.Mode{tscfp.PowerAware, tscfp.TSCAware},
+		Options: []tscfp.Option{
+			tscfp.WithIterations(60),
+			tscfp.WithGridN(16),
+			tscfp.WithPostProcess(false),
+		},
+	}, tscfp.WithWorkers(2))
+	if err != nil {
+		panic(err)
+	}
+	for _, sr := range results {
+		if sr.Err != nil {
+			panic(sr.Err)
+		}
+		fmt.Printf("cell %d: seed=%d mode=%s dies=%d evals=%d\n",
+			sr.Cell.Index, sr.Cell.Seed, sr.Cell.Mode, sr.Result.Dies, sr.Result.Stats.Evals)
+	}
+	// Output:
+	// cell 0: seed=1 mode=power-aware dies=2 evals=111
+	// cell 1: seed=1 mode=tsc-aware dies=2 evals=111
+	// cell 2: seed=2 mode=power-aware dies=2 evals=111
+	// cell 3: seed=2 mode=tsc-aware dies=2 evals=111
+}
+
+// ExampleWithProgress subscribes to per-stage progress events of one flow
+// run and counts the events per stage — the hook a CLI progress bar or a
+// job queue's status endpoint builds on. The callback runs synchronously on
+// the flow goroutine, so it must be cheap.
+func ExampleWithProgress() {
+	design := tscfp.MustBenchmark("n100")
+	counts := map[tscfp.Stage]int{}
+	_, err := tscfp.Run(context.Background(), design,
+		tscfp.WithMode(tscfp.PowerAware),
+		tscfp.WithIterations(200),
+		tscfp.WithGridN(16),
+		tscfp.WithPostProcess(false),
+		tscfp.WithSeed(7),
+		tscfp.WithProgress(func(ev tscfp.Event) {
+			counts[ev.Stage]++
+		}),
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("anneal events: %v\n", counts[tscfp.StageAnneal] > 0)
+	fmt.Printf("finalize events: %d\n", counts[tscfp.StageFinalize])
+	fmt.Printf("done events: %d\n", counts[tscfp.StageDone])
+	// Output:
+	// anneal events: true
+	// finalize events: 1
+	// done events: 1
+}

@@ -106,6 +106,7 @@ type settings struct {
 	postProcess *bool
 	weights     *Weights
 	progress    func(Event)
+	parSet      bool // WithParallelism was given explicitly
 	err         error
 }
 
@@ -299,4 +300,46 @@ func DefaultWeights(m Mode) Weights {
 // must be cheap and, under Sweep, safe for concurrent invocation.
 func WithProgress(fn func(Event)) Option {
 	return func(s *settings) { s.progress = fn }
+}
+
+// WithParallelism bounds the worker goroutines fanned out by the detailed
+// thermal solver's red-black SOR sweeps and the fast estimator's separable
+// convolutions. 0 (the default) selects GOMAXPROCS; 1 forces the serial
+// path. Results are byte-identical for every setting — parallelism never
+// perturbs determinism (see WithSeed).
+//
+// Under Sweep/Stream the unset default is 1, not GOMAXPROCS: the worker
+// pool already saturates the CPU with whole cells, and nesting per-run
+// fan-out under pool-level fan-out would oversubscribe it. An explicit
+// WithParallelism wins over that adjustment.
+func WithParallelism(n int) Option {
+	return func(s *settings) {
+		if n < 0 {
+			s.fail("negative parallelism %d", n)
+			return
+		}
+		s.cfg.Parallelism = n
+		s.parSet = true
+	}
+}
+
+// WithIncrementalCost selects the annealing-loop cost evaluator. Enabled by
+// default: moves repack only the dies they touch and patch cached per-net
+// wirelength/delay and per-die thermal state, with the full-recompute path
+// kept as the debugging reference. Disabling it recomputes every term from
+// scratch on every move. Both evaluators find the identical best floorplan
+// for a fixed seed; their per-move costs agree to well within 1e-9.
+func WithIncrementalCost(enabled bool) Option {
+	return func(s *settings) {
+		v := enabled
+		s.cfg.IncrementalCost = &v
+	}
+}
+
+// WithCostCrossCheck re-evaluates every annealing move through the full
+// recompute path and panics if the incremental cost drifts beyond 1e-9
+// (relative). Debug aid: it forfeits the entire incremental speedup. It has
+// no effect when WithIncrementalCost(false) is set.
+func WithCostCrossCheck(enabled bool) Option {
+	return func(s *settings) { s.cfg.CostCrossCheck = enabled }
 }

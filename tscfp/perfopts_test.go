@@ -1,0 +1,70 @@
+package tscfp
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func TestPerfOptionValidation(t *testing.T) {
+	design := MustBenchmark("n100")
+	if _, err := NewFlow(design, WithParallelism(-1)); err == nil {
+		t.Fatal("negative parallelism must fail")
+	}
+	if _, err := NewFlow(design, WithParallelism(0), WithIncrementalCost(true), WithCostCrossCheck(true)); err != nil {
+		t.Fatalf("valid perf options rejected: %v", err)
+	}
+}
+
+// TestIncrementalTogglesAgree pins the public determinism contract: for a
+// fixed seed the incremental and full-recompute evaluators, and every
+// parallelism setting, produce the identical result JSON (stats and runtime
+// aside).
+func TestIncrementalTogglesAgree(t *testing.T) {
+	design := MustBenchmark("n100")
+	run := func(opts ...Option) *Result {
+		t.Helper()
+		all := append([]Option{
+			WithMode(TSCAware),
+			WithIterations(150),
+			WithGridN(16),
+			WithPostProcess(false),
+			WithSeed(5),
+		}, opts...)
+		res, err := Run(context.Background(), design, all...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	canon := func(r *Result) string {
+		r.Metrics.RuntimeSec = 0
+		r.Stats = RunStats{}
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	inc := run(WithIncrementalCost(true), WithParallelism(0))
+	if inc.Stats.IncrementalEvals == 0 || inc.Stats.Evals == 0 {
+		t.Fatalf("stats not recorded: %+v", inc.Stats)
+	}
+	if !inc.Stats.SolverConverged || inc.Stats.SolverSweeps == 0 {
+		t.Fatalf("solver stats not recorded: %+v", inc.Stats)
+	}
+	full := run(WithIncrementalCost(false), WithParallelism(1))
+	if full.Stats.IncrementalEvals != 0 {
+		t.Fatalf("full run used caches: %+v", full.Stats)
+	}
+	if canon(inc) != canon(full) {
+		t.Fatal("incremental+parallel and full+serial runs disagree")
+	}
+	checked := run(WithIncrementalCost(true), WithCostCrossCheck(true))
+	if checked.Stats.Evals == 0 {
+		t.Fatal("cross-checked run recorded no evals")
+	}
+	if canon(checked) != canon(inc) {
+		t.Fatal("cross-checked run disagrees")
+	}
+}

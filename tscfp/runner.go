@@ -18,6 +18,9 @@ type Flow struct {
 	mode     Mode
 	cfg      core.Config
 	progress func(Event)
+	// parSet records an explicit WithParallelism; Sweep respects it when
+	// defaulting pooled cells to serial per-run parallelism.
+	parSet bool
 }
 
 // NewFlow binds a design to a set of options. Option validation happens
@@ -47,7 +50,7 @@ func NewFlow(design *Design, opts ...Option) (*Flow, error) {
 		w := core.Weights(*s.weights)
 		cfg.Weights = &w
 	}
-	return &Flow{design: design, mode: s.mode, cfg: cfg, progress: s.progress}, nil
+	return &Flow{design: design, mode: s.mode, cfg: cfg, progress: s.progress, parSet: s.parSet}, nil
 }
 
 // Mode returns the flow's configured mode.
@@ -99,7 +102,22 @@ func newResult(res *core.Result, mode Mode, seed int64) *Result {
 		GridN:     res.PowerMaps[0].NX,
 		Legal:     res.Layout.Legal(),
 		Metrics:   newMetrics(&res.Metrics),
-		raw:       res,
+		Stats: RunStats{
+			Evals:             res.EvalStats.Evals,
+			FullEvals:         res.EvalStats.FullEvals,
+			IncrementalEvals:  res.EvalStats.IncrementalEvals,
+			VoltRefreshes:     res.EvalStats.VoltRefreshes,
+			DiesRepacked:      res.EvalStats.DiesRepacked,
+			DiesReused:        res.EvalStats.DiesReused,
+			NetsRecomputed:    res.EvalStats.NetsRecomputed,
+			NetsReused:        res.EvalStats.NetsReused,
+			ResponsesComputed: res.EvalStats.ResponsesComputed,
+			ResponsesReused:   res.EvalStats.ResponsesReused,
+			SolverSweeps:      res.SolverStats.Sweeps,
+			SolverResidual:    res.SolverStats.Residual,
+			SolverConverged:   res.SolverStats.Converged,
+		},
+		raw: res,
 	}
 	for mi, m := range res.Design.Modules {
 		rect := res.Layout.Rects[mi]

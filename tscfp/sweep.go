@@ -163,6 +163,18 @@ func Stream(ctx context.Context, grid Grid, opts ...SweepOption) (<-chan SweepRe
 	if workers > len(cells) {
 		workers = len(cells)
 	}
+	// A multi-worker pool saturates the CPU with whole cells; nesting each
+	// cell's solver/blur fan-out under it would oversubscribe the machine
+	// (workers × GOMAXPROCS runnable goroutines). Default pooled cells to
+	// the serial per-run path unless WithParallelism was given explicitly.
+	// Results are identical either way (see WithParallelism).
+	if workers > 1 {
+		for _, f := range flows {
+			if !f.parSet {
+				f.cfg.Parallelism = 1
+			}
+		}
+	}
 
 	// Buffered to the cell count so neither workers nor the cancellation
 	// drain ever block on a consumer that stopped reading early — an
