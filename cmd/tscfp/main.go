@@ -40,7 +40,8 @@ func main() {
 		protect   = flag.Bool("protect", false, "post-process only the sensitive modules (Sec. 7.1 adaptation)")
 		par       = flag.Int("parallelism", 0, "thermal solver/estimator worker goroutines per run (0 = one per CPU, 1 = serial; results identical)")
 		fullCost  = flag.Bool("full-recompute", false, "disable the incremental cost evaluator (debug/reference; much slower)")
-		checkCost = flag.Bool("check-cost", false, "cross-check every incremental cost against a full recompute (debug; very slow)")
+		fullVolt  = flag.Bool("full-volt", false, "recompute the voltage assignment from scratch at every refresh instead of the incremental engine (debug/reference)")
+		checkCost = flag.Bool("check-cost", false, "cross-check every incremental cost (and voltage refresh) against a full recompute (debug; very slow)")
 	)
 	flag.Parse()
 
@@ -71,6 +72,7 @@ func main() {
 		tscfp.WithActivitySamples(*samples),
 		tscfp.WithParallelism(*par),
 		tscfp.WithIncrementalCost(!*fullCost),
+		tscfp.WithIncrementalVoltage(!*fullVolt),
 		tscfp.WithCostCrossCheck(*checkCost),
 	}
 	if *protect {

@@ -154,9 +154,21 @@ type Config struct {
 	// (incremental.go). Nil defaults to true; the full-recompute path is
 	// kept for debugging and as the cross-check reference.
 	IncrementalCost *bool
+	// IncrementalVoltage selects the incremental voltage-volume refresh:
+	// the annealing loop holds a volt.Assigner that caches per-module
+	// feasible-level masks, adjacency lists, and per-root candidate trees,
+	// and each stride refresh regrows only the trees whose inputs changed
+	// since the previous refresh (the dirty set comes from the move
+	// journal). Nil defaults to true. Only effective together with
+	// IncrementalCost — the full-recompute evaluator has no move journal to
+	// derive dirtiness from, so it always runs the full volt.Assign.
+	IncrementalVoltage *bool
 	// CostCrossCheck re-evaluates every annealing move through the full
 	// recompute path and panics if the incremental cost drifts beyond
-	// 1e-9 (relative). Debug aid: it forfeits the entire speedup.
+	// 1e-9 (relative); with IncrementalVoltage it additionally pins every
+	// incremental voltage refresh against a fresh full volt.Assign
+	// (identical volumes, TotalPower within 1e-9). Debug aid: it forfeits
+	// the entire speedup.
 	CostCrossCheck bool
 	// Progress, when non-nil, receives per-stage events as the flow
 	// advances. The callback runs synchronously on the flow goroutine and
@@ -235,6 +247,10 @@ func (c *Config) defaults() {
 		inc := true
 		c.IncrementalCost = &inc
 	}
+	if c.IncrementalVoltage == nil {
+		inc := true
+		c.IncrementalVoltage = &inc
+	}
 }
 
 // EvalStats reports the annealing-loop evaluation effort: how many cost
@@ -247,8 +263,19 @@ type EvalStats struct {
 	Evals            int
 	FullEvals        int
 	IncrementalEvals int
-	// VoltRefreshes counts voltage-assignment re-runs (the VoltEvery stride).
-	VoltRefreshes int
+	// VoltRefreshes counts voltage-assignment re-runs (the VoltEvery
+	// stride); VoltIncrementalRefreshes of those were served by the cached
+	// volt.Assigner instead of a from-scratch volt.Assign.
+	VoltRefreshes            int
+	VoltIncrementalRefreshes int
+	// VoltCandidatesReused/VoltCandidatesRegrown count the Assigner's cached
+	// per-root candidate trees served as-is vs regrown because a module's
+	// adjacency or feasible-level mask changed.
+	VoltCandidatesReused  int
+	VoltCandidatesRegrown int
+	// VoltCrossChecks counts incremental-vs-full voltage-assignment
+	// comparisons (0 unless Config.CostCrossCheck was set).
+	VoltCrossChecks int
 	// DiesRepacked/DiesReused count per-die skyline packings run vs skipped.
 	DiesRepacked int
 	DiesReused   int

@@ -37,11 +37,14 @@ type evaluator struct {
 	// Normalization baselines (set on first evaluation).
 	norm *normTerms
 
-	// incr, when non-nil, holds the incremental caches; check enables the
+	// incr, when non-nil, holds the incremental caches; voltIncr routes the
+	// stride voltage refreshes through incr's cached volt.Assigner instead
+	// of a from-scratch volt.Assign (requires incr); check enables the
 	// per-eval full-recompute cross-check (debug aid, heavily slows runs).
-	incr  *incrState
-	check bool
-	stats EvalStats
+	incr     *incrState
+	voltIncr bool
+	check    bool
+	stats    EvalStats
 }
 
 type normTerms struct {
@@ -112,11 +115,17 @@ func (e *evaluator) terms(l *floorplan.Layout) *normTerms {
 // the stride keeps runtime at the reported ~30% overhead), otherwise
 // refreshes the scaled power sum under the cached scales. ref supplies the
 // reference STA for the assignment; the incremental path substitutes its
-// cached net delays. Reports whether the assignment ran.
+// cached net delays, and with voltIncr set serves the assignment itself from
+// the cached volt.Assigner. Reports whether the assignment ran.
 func (e *evaluator) refreshVoltage(l *floorplan.Layout, ref func() *timing.Analysis) bool {
 	refreshed := false
 	if e.powerScale == nil || e.evals%e.cfg.VoltEvery == 0 {
-		asg := volt.Assign(l, ref(), e.voltConfig())
+		var asg *volt.Assignment
+		if e.voltIncr && e.incr != nil {
+			asg = e.incr.refreshVoltAssignment(e, ref())
+		} else {
+			asg = volt.Assign(l, ref(), e.voltConfig())
+		}
 		e.powerScale = asg.PowerScale
 		e.delayScale = asg.DelayScale
 		e.nVolumes = len(asg.Volumes)

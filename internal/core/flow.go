@@ -53,6 +53,7 @@ func RunContext(ctx context.Context, des *netlist.Design, cfg Config) (*Result, 
 	ev := &evaluator{fp: fp, cfg: &cfg, fast: fast, check: cfg.CostCrossCheck}
 	if *cfg.IncrementalCost {
 		ev.incr = newIncrState()
+		ev.voltIncr = *cfg.IncrementalVoltage
 	}
 	var best *floorplan.Floorplan
 	cfg.emit(ProgressEvent{Stage: StageAnneal, Total: cfg.SAIterations})

@@ -10,6 +10,7 @@ import (
 	"repro/internal/leakage"
 	"repro/internal/netlist"
 	"repro/internal/timing"
+	"repro/internal/volt"
 )
 
 // incrState holds the caches behind the incremental cost evaluator. The
@@ -38,6 +39,9 @@ import (
 // scales computed during a rejected evaluation too (they are not part of the
 // floorplan undo), and the incremental path mirrors that — a refresh during
 // a rejected move instead marks every map dirty for the next evaluation.
+// The voltage-assigner caches (the dirty-module set feeding volt.Assigner)
+// ARE journaled, because unlike the scales they must track the floorplan
+// exactly; see the volt fields below.
 type incrState struct {
 	lay *floorplan.Layout
 
@@ -62,6 +66,22 @@ type incrState struct {
 	// packers[d] caches die d's skyline states so repacks resume from the
 	// move's first changed sequence position.
 	packers []*floorplan.DiePacker
+
+	// Incremental voltage refresh (evaluator.voltIncr): vasg caches the
+	// voltage-volume candidate trees between stride refreshes; voltDirty
+	// marks the modules whose placement changed since the assigner last saw
+	// the layout (voltDirtyList is the same set in insertion order, handed
+	// to Refresh). voltAllDirty forces a full rebuild when the caches were
+	// dropped wholesale (reset rollback). The dirty-set mutations are
+	// journaled like every other cache: a rejected move unmarks exactly the
+	// modules it marked, and a rejected move whose evaluation refreshed the
+	// assignment re-derives the set from the rollback diff (the assigner saw
+	// the rejected geometry, so after the undo precisely the reverted
+	// modules differ from its snapshot).
+	vasg          *volt.Assigner
+	voltDirty     []bool
+	voltDirtyList []int
+	voltAllDirty  bool
 
 	// Scratch, sized once.
 	candMark []bool
@@ -144,6 +164,11 @@ type moveJournal struct {
 	oldMaps    []*geom.Grid
 	oldResp    [][]*geom.Grid
 	oldEntropy []float64
+
+	// voltAdded lists the modules this move newly marked volt-dirty, so a
+	// rollback can unmark exactly them (unless refreshed, which re-derives
+	// the set instead — see incrState.voltDirty).
+	voltAdded []int
 }
 
 // newIncrState allocates an empty cache set; everything is built lazily on
@@ -194,11 +219,44 @@ func (ic *incrState) rollback() {
 		ic.lay = nil
 		ic.mapsValid = false
 		ic.packers = nil
+		if ic.voltDirty != nil {
+			// The caches are gone wholesale; the assigner's snapshot no
+			// longer corresponds to anything we can diff against.
+			ic.voltAllDirty = true
+			ic.clearVoltDirty()
+		}
 		return
+	}
+	if ic.voltDirty != nil && j.refreshed {
+		// The assigner refreshed on the rejected geometry: relative to its
+		// snapshot, exactly the modules this rollback is about to revert
+		// are dirty. Diff before restoring.
+		ic.clearVoltDirty()
+		for i, m := range j.mods {
+			if ic.lay.Rects[m] != j.rects[i] || ic.lay.DieOf[m] != j.dies[i] {
+				ic.markVoltDirty(m)
+			}
+		}
 	}
 	for i, m := range j.mods {
 		ic.lay.Rects[m] = j.rects[i]
 		ic.lay.DieOf[m] = j.dies[i]
+	}
+	if ic.voltDirty != nil && !j.refreshed {
+		// No refresh saw the move: unmark exactly what it marked.
+		for _, m := range j.voltAdded {
+			ic.voltDirty[m] = false
+		}
+		if len(j.voltAdded) > 0 {
+			w := 0
+			for _, m := range ic.voltDirtyList {
+				if ic.voltDirty[m] {
+					ic.voltDirtyList[w] = m
+					w++
+				}
+			}
+			ic.voltDirtyList = ic.voltDirtyList[:w]
+		}
 	}
 	// The die packers' snapshots past the undone move's start positions
 	// describe the rejected packing; drop them.
@@ -340,6 +398,10 @@ func (ic *incrState) initGeometry(e *evaluator) {
 	ic.netStamp = make([]int, nNets)
 	ic.dieMark = make([]bool, ic.lay.Dies)
 
+	if e.voltIncr && ic.voltDirty == nil {
+		ic.voltDirty = make([]bool, nMods)
+	}
+
 	if ic.pending != nil {
 		// The move is folded into this full build; there is no itemized
 		// rollback record, so an undo must drop the caches entirely.
@@ -452,6 +514,18 @@ func (ic *incrState) applyMove(e *evaluator) {
 		}
 	}
 
+	// Accumulate the changed modules into the voltage-assigner dirty set,
+	// journaling the newly marked ones for rollback.
+	if ic.voltDirty != nil {
+		for _, ci := range ic.changed {
+			m := j.mods[ci]
+			if !ic.voltDirty[m] {
+				ic.markVoltDirty(m)
+				j.voltAdded = append(j.voltAdded, m)
+			}
+		}
+	}
+
 	// Patch the nets touching a changed module; mark their dies map-dirty.
 	ic.stamp++
 	recomputed := 0
@@ -542,4 +616,59 @@ func (ic *incrState) updateMaps(e *evaluator, powers []float64) {
 	e.stats.ResponsesComputed += len(ic.dirty)
 	e.stats.ResponsesReused += ic.lay.Dies - len(ic.dirty)
 	ic.dirty = ic.dirty[:0]
+}
+
+// markVoltDirty records module m as changed since the voltage assigner's
+// snapshot (idempotent).
+func (ic *incrState) markVoltDirty(m int) {
+	if !ic.voltDirty[m] {
+		ic.voltDirty[m] = true
+		ic.voltDirtyList = append(ic.voltDirtyList, m)
+	}
+}
+
+// clearVoltDirty empties the dirty set in O(dirty).
+func (ic *incrState) clearVoltDirty() {
+	for _, m := range ic.voltDirtyList {
+		ic.voltDirty[m] = false
+	}
+	ic.voltDirtyList = ic.voltDirtyList[:0]
+}
+
+// refreshVoltAssignment serves one stride voltage refresh from the cached
+// volt.Assigner: only the candidate trees that depend on a module whose
+// placement (accumulated here from the move journal since the last refresh)
+// or feasible-level mask (diffed inside the assigner from ref) changed are
+// regrown. Consumes the dirty set; the result is value-identical to a fresh
+// volt.Assign on the current layout, which the check path verifies.
+func (ic *incrState) refreshVoltAssignment(e *evaluator, ref *timing.Analysis) *volt.Assignment {
+	if ic.vasg == nil {
+		ic.vasg = volt.NewAssigner(e.voltConfig())
+	}
+	if ic.voltAllDirty {
+		ic.vasg.Invalidate()
+		ic.voltAllDirty = false
+	}
+	asg := ic.vasg.Refresh(ic.lay, ref, ic.voltDirtyList)
+	ic.clearVoltDirty()
+	st := ic.vasg.Stats()
+	e.stats.VoltIncrementalRefreshes = st.Refreshes
+	e.stats.VoltCandidatesReused = st.CandidatesReused
+	e.stats.VoltCandidatesRegrown = st.CandidatesRegrown
+	if e.check {
+		e.crossCheckVolt(ic.lay, ref, asg)
+	}
+	return asg
+}
+
+// crossCheckVolt pins an incremental voltage refresh against a from-scratch
+// volt.Assign on the same layout and reference timing: identical volumes and
+// per-module levels, TotalPower within the 1e-9 contract. Debug aid behind
+// Config.CostCrossCheck, like crossCheck.
+func (e *evaluator) crossCheckVolt(l *floorplan.Layout, ref *timing.Analysis, got *volt.Assignment) {
+	e.stats.VoltCrossChecks++
+	want := volt.Assign(l, ref, e.voltConfig())
+	if err := volt.Equivalent(got, want, 1e-9); err != nil {
+		panic(fmt.Sprintf("core: incremental voltage assignment diverged from full volt.Assign: %v", err))
+	}
 }

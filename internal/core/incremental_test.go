@@ -22,6 +22,7 @@ func makeEval(t *testing.T, mode Mode, incremental bool, seed int64) *evaluator 
 	ev := &evaluator{fp: floorplan.NewRandom(des, rng), cfg: &cfg, fast: fast}
 	if incremental {
 		ev.incr = newIncrState()
+		ev.voltIncr = *cfg.IncrementalVoltage
 	}
 	return ev
 }

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestIncrementalVoltageCrossCheckOverJournaledRun is the acceptance
+// contract for the incremental voltage refresh: a journaled 1k-move
+// perturb/cost/undo run with the cross-check enabled must see every stride
+// refresh produce identical volumes and TotalPower within 1e-9 of a
+// from-scratch volt.Assign (crossCheckVolt panics otherwise), and the
+// incremental cost must stay within the 1e-9 epsilon contract throughout.
+// Interleaved undos exercise the volt dirty-set journal rollback — both the
+// unmark path (no refresh saw the move) and the re-derive path (the
+// assigner refreshed on rejected geometry).
+func TestIncrementalVoltageCrossCheckOverJournaledRun(t *testing.T) {
+	ev := makeEval(t, TSCAware, true, 41)
+	if !ev.voltIncr {
+		t.Fatal("incremental voltage not active under default config")
+	}
+	ev.check = true
+	rng := rand.New(rand.NewSource(9))
+	dec := rand.New(rand.NewSource(10))
+	ev.Cost()
+	for i := 0; i < 1000; i++ {
+		undo := ev.Perturb(rng)
+		ev.Cost()
+		if dec.Float64() < 0.5 {
+			undo()
+		}
+	}
+	st := ev.stats
+	if st.VoltCrossChecks == 0 {
+		t.Fatalf("voltage cross-checks never ran: %+v", st)
+	}
+	if st.VoltIncrementalRefreshes == 0 || st.VoltIncrementalRefreshes != st.VoltRefreshes {
+		t.Fatalf("refreshes not served incrementally: %+v", st)
+	}
+	if st.VoltCandidatesReused == 0 {
+		t.Fatalf("no candidate tree was ever reused: %+v", st)
+	}
+	if st.MaxCrossCheckError > 1e-9 {
+		t.Fatalf("cost cross-check error too large: %g", st.MaxCrossCheckError)
+	}
+}
+
+// TestFlowIncrementalVoltageMatchesFullVoltage is the flow-level determinism
+// criterion for the voltage engine alone: with the incremental cost caches
+// on in both legs, toggling only the voltage engine must produce the
+// identical best floorplan and metrics for a fixed seed.
+func TestFlowIncrementalVoltageMatchesFullVoltage(t *testing.T) {
+	des := bench.MustGenerate("n100")
+	run := func(voltIncremental bool) *Result {
+		vi := voltIncremental
+		post := false
+		res, err := Run(des, Config{
+			Mode:               TSCAware,
+			GridN:              16,
+			SAIterations:       400,
+			Seed:               3,
+			PostProcess:        &post,
+			IncrementalVoltage: &vi,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast := run(true)
+	full := run(false)
+	for m := range fast.Layout.Rects {
+		if fast.Layout.Rects[m] != full.Layout.Rects[m] || fast.Layout.DieOf[m] != full.Layout.DieOf[m] {
+			t.Fatalf("module %d placed differently: %+v/die%d vs %+v/die%d", m,
+				fast.Layout.Rects[m], fast.Layout.DieOf[m], full.Layout.Rects[m], full.Layout.DieOf[m])
+		}
+	}
+	if fast.Metrics.PeakTempK != full.Metrics.PeakTempK || fast.Metrics.PowerW != full.Metrics.PowerW {
+		t.Fatalf("metrics differ: peak %v vs %v, power %v vs %v",
+			fast.Metrics.PeakTempK, full.Metrics.PeakTempK, fast.Metrics.PowerW, full.Metrics.PowerW)
+	}
+	if fast.EvalStats.VoltIncrementalRefreshes == 0 {
+		t.Fatalf("incremental-voltage run never used the assigner: %+v", fast.EvalStats)
+	}
+	if fast.EvalStats.VoltCandidatesReused == 0 {
+		t.Fatalf("assigner never reused a candidate: %+v", fast.EvalStats)
+	}
+	if full.EvalStats.VoltIncrementalRefreshes != 0 {
+		t.Fatalf("full-voltage run unexpectedly used the assigner: %+v", full.EvalStats)
+	}
+}
+
+// TestIncrementalVoltageUnderParallelism runs the refresh alongside the
+// parallel thermal workers; under `go test -race` (the CI job) it asserts
+// the voltage caches never share state with the estimator's fan-out.
+func TestIncrementalVoltageUnderParallelism(t *testing.T) {
+	des := bench.MustGenerate("n100")
+	post := false
+	res, err := Run(des, Config{
+		Mode:         TSCAware,
+		GridN:        16,
+		SAIterations: 200,
+		Seed:         7,
+		PostProcess:  &post,
+		Parallelism:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EvalStats.VoltIncrementalRefreshes == 0 {
+		t.Fatalf("incremental voltage inactive: %+v", res.EvalStats)
+	}
+}

@@ -593,37 +593,72 @@ func (l *Layout) Deadspace(d int) float64 {
 // are ordered exactly as the all-pairs scan would order them, keeping the
 // voltage-volume growth (which is sensitive to neighbour order) identical.
 func (l *Layout) AdjacentModules() [][]int {
+	return l.AdjacentModulesInto(&AdjacencyScratch{})
+}
+
+// AdjacencyScratch recycles the working memory of AdjacentModulesInto
+// across calls. The zero value is ready to use; the returned adjacency
+// aliases the scratch and is overwritten by the next call with the same
+// scratch.
+type AdjacencyScratch struct {
+	byDie [][]int
+	pairs [][2]int
+	deg   []int
+	flat  []int
+	rows  [][]int
+}
+
+// AdjacentModulesInto is AdjacentModules writing into a reusable scratch —
+// the voltage-assignment engine re-sweeps adjacency on every stride refresh
+// of the annealing loop, where the per-call row allocations would dominate
+// the sweep itself. The result is value-identical to AdjacentModules.
+func (l *Layout) AdjacentModulesInto(s *AdjacencyScratch) [][]int {
 	n := len(l.Rects)
-	adj := make([][]int, n)
-	byDie := make([][]int, l.Dies)
+	if cap(s.byDie) < l.Dies {
+		s.byDie = make([][]int, l.Dies)
+	}
+	byDie := s.byDie[:l.Dies]
+	for d := range byDie {
+		byDie[d] = byDie[d][:0]
+	}
 	for mi, d := range l.DieOf {
 		byDie[d] = append(byDie[d], mi)
+	}
+	s.byDie = byDie
+	// Sort each die's population by X once, in place (the lists are rebuilt
+	// above on every call, so the previous call's order never leaks in).
+	for d := range byDie {
+		mods := byDie[d]
+		sort.Slice(mods, func(i, j int) bool { return l.Rects[mods[i]].X < l.Rects[mods[j]].X })
 	}
 	// margin exceeds Adjacent's relative tolerance at any realistic die
 	// coordinate, so the sweep never prunes a pair Adjacent would accept.
 	const margin = 1e-3
-	var pairs [][2]int
+	pairs := s.pairs[:0]
 	record := func(a, b int) {
 		if a > b {
 			a, b = b, a
 		}
 		pairs = append(pairs, [2]int{a, b})
 	}
-	byX := func(mods []int) []int {
-		order := append([]int(nil), mods...)
-		sort.Slice(order, func(i, j int) bool { return l.Rects[order[i]].X < l.Rects[order[j]].X })
-		return order
-	}
 	for d := 0; d < l.Dies; d++ {
-		order := byX(byDie[d])
+		order := byDie[d]
 		for i, a := range order {
 			ra := l.Rects[a]
 			maxX := ra.MaxX() + margin
+			maxY := ra.MaxY() + margin
 			for _, b := range order[i+1:] {
-				if l.Rects[b].X > maxX {
+				rb := l.Rects[b]
+				if rb.X > maxX {
 					break
 				}
-				if ra.Adjacent(l.Rects[b]) {
+				// Y pre-filter, same margin argument as the X window:
+				// disjoint-beyond-margin Y spans can neither overlap nor
+				// abut, so Adjacent cannot accept the pair.
+				if rb.Y > maxY || ra.Y > rb.MaxY()+margin {
+					continue
+				}
+				if ra.Adjacent(rb) {
 					record(a, b)
 				}
 			}
@@ -632,7 +667,7 @@ func (l *Layout) AdjacentModules() [][]int {
 		if d+1 >= l.Dies {
 			continue
 		}
-		above := byX(byDie[d+1])
+		above := byDie[d+1]
 		for _, a := range order {
 			ra := l.Rects[a]
 			for _, b := range above {
@@ -641,6 +676,10 @@ func (l *Layout) AdjacentModules() [][]int {
 					break
 				}
 				if rb.MaxX() <= ra.X {
+					continue
+				}
+				// Footprint overlap needs open Y-interval overlap too.
+				if rb.Y >= ra.MaxY() || ra.Y >= rb.MaxY() {
 					continue
 				}
 				if ra.OverlapArea(rb) > 0 {
@@ -656,11 +695,37 @@ func (l *Layout) AdjacentModules() [][]int {
 		}
 		return pairs[i][1] < pairs[j][1]
 	})
-	for _, p := range pairs {
-		adj[p[0]] = append(adj[p[0]], p[1])
-		adj[p[1]] = append(adj[p[1]], p[0])
+	s.pairs = pairs
+	// Carve the rows out of one flat backing array sized by degree, filling
+	// in pair order — the same per-row neighbour order the historical
+	// append-per-pair emission produced.
+	if cap(s.deg) < n {
+		s.deg = make([]int, n)
+		s.rows = make([][]int, n)
 	}
-	return adj
+	deg := s.deg[:n]
+	for i := range deg {
+		deg[i] = 0
+	}
+	for _, p := range pairs {
+		deg[p[0]]++
+		deg[p[1]]++
+	}
+	if cap(s.flat) < 2*len(pairs) {
+		s.flat = make([]int, 2*len(pairs))
+	}
+	flat := s.flat[:2*len(pairs)]
+	rows := s.rows[:n]
+	off := 0
+	for m := 0; m < n; m++ {
+		rows[m] = flat[off : off : off+deg[m]]
+		off += deg[m]
+	}
+	for _, p := range pairs {
+		rows[p[0]] = append(rows[p[0]], p[1])
+		rows[p[1]] = append(rows[p[1]], p[0])
+	}
+	return rows
 }
 
 // Clone returns a deep copy of the layout sharing the design.

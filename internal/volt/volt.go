@@ -14,7 +14,6 @@ package volt
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/floorplan"
 	"repro/internal/timing"
@@ -104,173 +103,19 @@ type Assignment struct {
 
 // Assign computes voltage volumes for a placed layout. The timing analysis
 // must have been produced at the 1.0 V reference (delayScale nil).
+//
+// Assign is the one-shot form of the engine: it builds a throwaway Assigner
+// and runs a full rebuild. Callers refreshing the assignment repeatedly over
+// small layout changes (the annealing loop) should hold an Assigner and use
+// Refresh, which reuses every candidate tree whose inputs did not change.
 func Assign(l *floorplan.Layout, ref *timing.Analysis, cfg Config) *Assignment {
-	cfg.defaults()
-	n := len(l.Design.Modules)
-	target := ref.Critical * cfg.TargetFactor
-
-	// Feasible levels per module: level k is feasible if slowing (or
-	// speeding) only this module keeps its worst hop within target.
-	feasible := make([][]bool, n)
-	for m := 0; m < n; m++ {
-		feasible[m] = make([]bool, len(cfg.Levels))
-		base := math.Max(ref.Arrive[m], ref.Depart[m])
-		for k, lv := range cfg.Levels {
-			feasible[m][k] = base+ref.ModuleDelay[m]*lv.DelayScale <= target
-		}
-		// 1.0 V is always feasible by construction (it met the reference
-		// timing); guard against degenerate targets.
-		for k, lv := range cfg.Levels {
-			if lv.DelayScale == 1.0 {
-				feasible[m][k] = true
-			}
-		}
-	}
-
-	adj := l.AdjacentModules()
-	densities := make([]float64, n)
-	for m, mod := range l.Design.Modules {
-		densities[m] = mod.PowerDensity()
-	}
-	globalMeanDensity := meanOf(densities)
-
-	// grow builds one voltage-volume tree from root by BFS over adjacent
-	// modules (paper Sec. 6.1), adding at each step the neighbour that best
-	// fits the mode's objective while the feasible-set intersection stays
-	// non-empty. Modules marked in blocked are never added.
-	//
-	// The membership test uses a stamped scratch array shared across the n
-	// per-root invocations (this runs inside the annealing loop's voltage
-	// refresh, so the hot path is allocation-lean), and candidate screening
-	// intersects the level masks in place without building the merged set.
-	inVol := make([]int, n)
-	stamp := 0
-	var frontier []int
-	grow := func(root int, blocked []bool) ([]int, []bool) {
-		stamp++
-		inVol[root] = stamp
-		members := []int{root}
-		inter := append([]bool(nil), feasible[root]...)
-		frontier = append(frontier[:0], adj[root]...)
-		for len(members) < cfg.MaxVolumeSize && len(frontier) > 0 {
-			bestIdx := -1
-			bestKey := math.Inf(1)
-			volDens := meanDensity(members, densities)
-			for fi, cand := range frontier {
-				if inVol[cand] == stamp || (blocked != nil && blocked[cand]) {
-					continue
-				}
-				if !anyBoth(inter, feasible[cand]) {
-					continue
-				}
-				var key float64
-				if cfg.Mode == TSCAware {
-					key = math.Abs(densities[cand] - volDens)
-					// Refuse neighbours that would break the volume's
-					// power-density uniformity.
-					if key > cfg.DensityTolerance*globalMeanDensity {
-						continue
-					}
-				} else {
-					// Power-aware: prefer modules that allow the lowest
-					// voltage (largest power saving).
-					key = -savingOfBoth(cand, inter, feasible[cand], cfg.Levels, l)
-				}
-				if key < bestKey {
-					bestKey, bestIdx = key, fi
-				}
-			}
-			if bestIdx < 0 {
-				break
-			}
-			pick := frontier[bestIdx]
-			frontier = append(frontier[:bestIdx], frontier[bestIdx+1:]...)
-			if inVol[pick] == stamp {
-				continue
-			}
-			inVol[pick] = stamp
-			intersectInto(inter, feasible[pick])
-			members = append(members, pick)
-			for _, nb := range adj[pick] {
-				if inVol[nb] != stamp {
-					frontier = append(frontier, nb)
-				}
-			}
-		}
-		return members, inter
-	}
-
-	// Candidate volumes: one BFS tree rooted at every module.
-	type candidate struct {
-		modules []int
-		levels  []bool // feasible intersection
-		score   float64
-	}
-	var candidates []candidate
-	for root := 0; root < n; root++ {
-		members, inter := grow(root, nil)
-		score := scoreVolume(members, inter, cfg, densities, globalMeanDensity, l)
-		candidates = append(candidates, candidate{
-			modules: append([]int(nil), members...),
-			levels:  inter,
-			score:   score,
-		})
-	}
-
-	// Greedy partition: best-scoring candidates first, skipping overlaps.
-	sort.SliceStable(candidates, func(a, b int) bool {
-		return candidates[a].score > candidates[b].score
-	})
-	asg := &Assignment{
-		LevelOf:    make([]Level, n),
-		PowerScale: make([]float64, n),
-		DelayScale: make([]float64, n),
-		Target:     target,
-	}
-	assigned := make([]bool, n)
-	addVolume := func(mods []int, levels []bool) {
-		lv := pickLevel(mods, levels, cfg, densities, globalMeanDensity, l)
-		vol := Volume{Level: lv}
-		for _, m := range mods {
-			vol.Modules = append(vol.Modules, m)
-			assigned[m] = true
-			asg.LevelOf[m] = lv
-			asg.PowerScale[m] = lv.PowerScale
-			asg.DelayScale[m] = lv.DelayScale
-		}
-		sort.Ints(vol.Modules)
-		asg.Volumes = append(asg.Volumes, vol)
-	}
-	for _, c := range candidates {
-		free := true
-		for _, m := range c.modules {
-			if assigned[m] {
-				free = false
-				break
-			}
-		}
-		if !free {
-			continue
-		}
-		addVolume(c.modules, c.levels)
-	}
-	// Leftovers (modules whose candidate volumes overlapped earlier picks)
-	// are re-grown among themselves so the partition stays coarse.
-	for m := 0; m < n; m++ {
-		if !assigned[m] {
-			mods, levels := grow(m, assigned)
-			addVolume(mods, levels)
-		}
-	}
-
-	for m, mod := range l.Design.Modules {
-		asg.TotalPower += mod.Power * asg.PowerScale[m]
-	}
-	return asg
+	return NewAssigner(cfg).Assign(l, ref)
 }
 
-// scoreVolume ranks a candidate for the greedy partition.
-func scoreVolume(mods []int, levels []bool, cfg Config, dens []float64, globalMean float64, l *floorplan.Layout) float64 {
+// scoreVolume ranks a candidate for the greedy partition. levels is the
+// candidate's feasible-level bitmask; power holds the per-module nominal
+// powers in W.
+func scoreVolume(mods []int, levels uint32, cfg Config, dens []float64, globalMean float64, power []float64) float64 {
 	size := float64(len(mods))
 	switch cfg.Mode {
 	case TSCAware:
@@ -287,15 +132,16 @@ func scoreVolume(mods []int, levels []bool, cfg Config, dens []float64, globalMe
 		lv := lowestLevel(levels, cfg.Levels)
 		if lv != nil {
 			for _, m := range mods {
-				saving += l.Design.Modules[m].Power * (1 - lv.PowerScale)
+				saving += power[m] * (1 - lv.PowerScale)
 			}
 		}
 		return size + 100*saving
 	}
 }
 
-// pickLevel selects the volume's voltage from its feasible set.
-func pickLevel(mods []int, levels []bool, cfg Config, dens []float64, globalMean float64, l *floorplan.Layout) Level {
+// pickLevel selects the volume's voltage from its feasible set (a level
+// bitmask).
+func pickLevel(mods []int, levels uint32, cfg Config, dens []float64, globalMean float64) Level {
 	feas := feasibleLevels(levels, cfg.Levels)
 	if len(feas) == 0 {
 		// Fall back to the reference level.
@@ -357,8 +203,14 @@ func Repair(l *floorplan.Layout, asg *Assignment, p timing.Params, cfg Config) *
 		if ok {
 			return a
 		}
-		// Find the volume containing the worst offender and reset it.
-		worst := a.WorstPaths(1)[0]
+		// Find the volume containing the worst offender and reset it. On a
+		// degenerate (empty) design there is no offender to blame — return
+		// the analysis unchanged instead of indexing an empty slice.
+		offenders := a.WorstPaths(1)
+		if len(offenders) == 0 {
+			return a
+		}
+		worst := offenders[0]
 		fixed := false
 		for vi := range asg.Volumes {
 			for _, m := range asg.Volumes[vi].Modules {
@@ -430,72 +282,24 @@ func (asg *Assignment) InterVolumeDensityStdDev(l *floorplan.Layout) float64 {
 
 // --- helpers -----------------------------------------------------------------
 
-func intersect(a, b []bool) []bool {
-	out := make([]bool, len(a))
-	for i := range a {
-		out[i] = a[i] && b[i]
-	}
-	return out
-}
-
-// intersectInto folds b into a in place (the allocation-free intersect).
-func intersectInto(a, b []bool) {
-	for i := range a {
-		a[i] = a[i] && b[i]
-	}
-}
-
-// anyBoth reports whether the intersection of a and b is non-empty, without
-// materializing it.
-func anyBoth(a, b []bool) bool {
-	for i := range a {
-		if a[i] && b[i] {
-			return true
-		}
-	}
-	return false
-}
-
-// savingOfBoth is savingOf over the implicit intersection of two masks.
-func savingOfBoth(m int, a, b []bool, levels []Level, l *floorplan.Layout) float64 {
-	var best *Level
-	for i := range a {
-		if !a[i] || !b[i] {
-			continue
-		}
-		if best == nil || levels[i].PowerScale < best.PowerScale {
-			best = &levels[i]
-		}
-	}
-	if best == nil {
-		return 0
-	}
-	return l.Design.Modules[m].Power * (1 - best.PowerScale)
-}
-
-func any(b []bool) bool {
-	for _, v := range b {
-		if v {
-			return true
-		}
-	}
-	return false
-}
-
-func feasibleLevels(mask []bool, levels []Level) []Level {
+// feasibleLevels expands a level bitmask (bit k = levels[k] feasible) into
+// the corresponding levels, in level order.
+func feasibleLevels(mask uint32, levels []Level) []Level {
 	var out []Level
-	for i, ok := range mask {
-		if ok {
+	for i := range levels {
+		if mask&(1<<i) != 0 {
 			out = append(out, levels[i])
 		}
 	}
 	return out
 }
 
-func lowestLevel(mask []bool, levels []Level) *Level {
+// lowestLevel returns the mask's level with the lowest power scale (nil for
+// an empty mask); earlier levels win ties.
+func lowestLevel(mask uint32, levels []Level) *Level {
 	var best *Level
-	for i, ok := range mask {
-		if !ok {
+	for i := range levels {
+		if mask&(1<<i) == 0 {
 			continue
 		}
 		if best == nil || levels[i].PowerScale < best.PowerScale {
@@ -513,14 +317,6 @@ func refLevel(levels []Level) Level {
 		}
 	}
 	return levels[0]
-}
-
-func savingOf(m int, mask []bool, levels []Level, l *floorplan.Layout) float64 {
-	lv := lowestLevel(mask, levels)
-	if lv == nil {
-		return 0
-	}
-	return l.Design.Modules[m].Power * (1 - lv.PowerScale)
 }
 
 func meanDensity(mods []int, dens []float64) float64 {

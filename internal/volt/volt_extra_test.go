@@ -95,7 +95,7 @@ func TestRepairRestoresTiming(t *testing.T) {
 
 func TestLevelsHelpers(t *testing.T) {
 	levels := Levels90nm()
-	mask := []bool{true, false, true}
+	const mask = 0b101 // 0.8 V and 1.2 V
 	feas := feasibleLevels(mask, levels)
 	if len(feas) != 2 || feas[0].V != 0.8 || feas[1].V != 1.2 {
 		t.Fatalf("feasibleLevels: %+v", feas)
@@ -107,7 +107,7 @@ func TestLevelsHelpers(t *testing.T) {
 	if refLevel(levels).V != 1.0 {
 		t.Fatal("refLevel")
 	}
-	if lowestLevel([]bool{false, false, false}, levels) != nil {
+	if lowestLevel(0, levels) != nil {
 		t.Fatal("empty mask must yield nil")
 	}
 }
@@ -128,17 +128,25 @@ func TestStatHelpers(t *testing.T) {
 	}
 }
 
-func TestIntersectAndAny(t *testing.T) {
-	a := []bool{true, true, false}
-	b := []bool{false, true, true}
-	c := intersect(a, b)
-	if c[0] || !c[1] || c[2] {
-		t.Fatalf("intersect: %v", c)
+func TestLowestPowerScaleTable(t *testing.T) {
+	// The assigner's lowPS table must agree with lowestLevel for every mask
+	// value: it replaces the per-candidate scan on the growth hot path.
+	levels := Levels90nm()
+	a := NewAssigner(Config{})
+	for mask := uint32(0); mask < 1<<len(levels); mask++ {
+		want := 1.0
+		if lv := lowestLevel(mask, levels); lv != nil {
+			want = lv.PowerScale
+		}
+		if got := a.lowPS[mask]; got != want {
+			t.Fatalf("lowPS[%03b] = %v, want %v", mask, got, want)
+		}
 	}
-	if !any(c) {
-		t.Fatal("any")
+	// The empty mask yields a zero saving through the power formula.
+	if s := 2.0 * (1 - a.lowPS[0]); s != 0 {
+		t.Fatalf("empty-mask saving = %v, want 0", s)
 	}
-	if any([]bool{false, false}) {
-		t.Fatal("any on empty mask")
+	if want := 2.0 * (1 - 0.817); math.Abs(2.0*(1-a.lowPS[0b011])-want) > 1e-12 {
+		t.Fatalf("masked saving wrong: %v", 2.0*(1-a.lowPS[0b011]))
 	}
 }

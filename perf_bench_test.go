@@ -23,17 +23,19 @@ import (
 
 // annealLoopRun executes the SA search (no post-processing) — the flow's
 // hot path — at a fixed budget so legs are comparable.
-func annealLoopRun(b *testing.B, name string, incremental bool, iters int) *core.Result {
+func annealLoopRun(b *testing.B, name string, incremental, incrVolt bool, iters int) *core.Result {
 	b.Helper()
 	des := bench.MustGenerate(name)
 	post := false
 	inc := incremental
+	iv := incrVolt
 	res, err := core.Run(des, core.Config{
-		Mode:            core.TSCAware,
-		SAIterations:    iters,
-		Seed:            1,
-		PostProcess:     &post,
-		IncrementalCost: &inc,
+		Mode:               core.TSCAware,
+		SAIterations:       iters,
+		Seed:               1,
+		PostProcess:        &post,
+		IncrementalCost:    &inc,
+		IncrementalVoltage: &iv,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -41,28 +43,37 @@ func annealLoopRun(b *testing.B, name string, incremental bool, iters int) *core
 	return res
 }
 
-// BenchmarkAnnealLoop times the annealing loop with the incremental cost
-// evaluator against the full-recompute reference, on a small (n100) and a
-// large (ibm01) benchmark. Both legs must find the identical best floorplan
-// (asserted by TestFlowIncrementalMatchesFull in internal/core).
+// BenchmarkAnnealLoop times the annealing loop in three legs — the
+// full-recompute reference, the incremental geometric/thermal caches with
+// from-scratch voltage refreshes (the PR 2 configuration), and the full
+// incremental evaluator including the cached voltage engine (the default) —
+// on a small (n100) and a large (ibm01) benchmark. All legs must find the
+// identical best floorplan (asserted by TestFlowIncrementalMatchesFull and
+// TestFlowIncrementalVoltageMatchesFullVoltage in internal/core).
 func BenchmarkAnnealLoop(b *testing.B) {
 	iters := benchIters()
 	for _, name := range []string{"n100", "ibm01"} {
 		for _, leg := range []struct {
 			label       string
 			incremental bool
+			incrVolt    bool
 		}{
-			{"full-recompute", false},
-			{"incremental", true},
+			{"full-recompute", false, false},
+			{"incremental", true, false},
+			{"incremental-volt", true, true},
 		} {
 			b.Run(fmt.Sprintf("%s/%s", name, leg.label), func(b *testing.B) {
 				var st core.EvalStats
 				for i := 0; i < b.N; i++ {
-					st = annealLoopRun(b, name, leg.incremental, iters).EvalStats
+					st = annealLoopRun(b, name, leg.incremental, leg.incrVolt, iters).EvalStats
 				}
 				if st.Evals > 0 {
 					b.ReportMetric(float64(st.NetsReused)/float64(st.Evals), "nets_reused/eval")
 					b.ReportMetric(float64(st.DiesReused)/float64(st.Evals), "dies_reused/eval")
+				}
+				if st.VoltCandidatesReused+st.VoltCandidatesRegrown > 0 {
+					b.ReportMetric(float64(st.VoltCandidatesReused)/
+						float64(st.VoltCandidatesReused+st.VoltCandidatesRegrown), "volt_cands_reused_frac")
 				}
 			})
 		}

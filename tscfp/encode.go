@@ -57,8 +57,17 @@ type RunStats struct {
 	Evals            int `json:"evals"`
 	FullEvals        int `json:"full_evals"`
 	IncrementalEvals int `json:"incremental_evals"`
-	// VoltRefreshes counts voltage-assignment re-runs (the VoltEvery stride).
-	VoltRefreshes int `json:"volt_refreshes"`
+	// VoltRefreshes counts voltage-assignment re-runs (the VoltEvery
+	// stride); VoltIncrementalRefreshes of those were served by the cached
+	// incremental assigner, which reused VoltCandidatesReused per-module
+	// candidate trees and regrew VoltCandidatesRegrown. VoltCrossChecks
+	// counts incremental-vs-full assignment comparisons (0 unless
+	// WithCostCrossCheck).
+	VoltRefreshes            int `json:"volt_refreshes"`
+	VoltIncrementalRefreshes int `json:"volt_incremental_refreshes"`
+	VoltCandidatesReused     int `json:"volt_candidates_reused"`
+	VoltCandidatesRegrown    int `json:"volt_candidates_regrown"`
+	VoltCrossChecks          int `json:"volt_cross_checks"`
 	// DiesRepacked/DiesReused count per-die skyline packings run vs skipped;
 	// NetsRecomputed/NetsReused the per-net wirelength+delay refreshes;
 	// ResponsesComputed/ResponsesReused the per-source thermal blurs.

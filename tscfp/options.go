@@ -336,10 +336,29 @@ func WithIncrementalCost(enabled bool) Option {
 	}
 }
 
+// WithIncrementalVoltage selects the incremental voltage-volume refresh.
+// Enabled by default: the annealing loop holds a cached assignment engine
+// (per-module feasible-level masks, adjacency lists, per-root candidate
+// trees) and each stride refresh regrows only the candidate trees whose
+// inputs changed since the previous refresh, with the dirty set derived from
+// the move journal. Disabling it recomputes the assignment from scratch at
+// every refresh. Both paths produce identical voltage volumes and scales for
+// a fixed seed (see WithCostCrossCheck); only effective together with
+// WithIncrementalCost, since the dirty set comes from its move journal.
+func WithIncrementalVoltage(enabled bool) Option {
+	return func(s *settings) {
+		v := enabled
+		s.cfg.IncrementalVoltage = &v
+	}
+}
+
 // WithCostCrossCheck re-evaluates every annealing move through the full
 // recompute path and panics if the incremental cost drifts beyond 1e-9
-// (relative). Debug aid: it forfeits the entire incremental speedup. It has
-// no effect when WithIncrementalCost(false) is set.
+// (relative); with WithIncrementalVoltage it additionally pins every
+// incremental voltage refresh against a from-scratch assignment (identical
+// volumes, total power within 1e-9). Debug aid: it forfeits the entire
+// incremental speedup. It has no effect when WithIncrementalCost(false) is
+// set.
 func WithCostCrossCheck(enabled bool) Option {
 	return func(s *settings) { s.cfg.CostCrossCheck = enabled }
 }

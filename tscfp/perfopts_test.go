@@ -50,6 +50,9 @@ func TestIncrementalTogglesAgree(t *testing.T) {
 	if inc.Stats.IncrementalEvals == 0 || inc.Stats.Evals == 0 {
 		t.Fatalf("stats not recorded: %+v", inc.Stats)
 	}
+	if inc.Stats.VoltIncrementalRefreshes == 0 || inc.Stats.VoltCandidatesReused == 0 {
+		t.Fatalf("incremental voltage stats not recorded: %+v", inc.Stats)
+	}
 	if !inc.Stats.SolverConverged || inc.Stats.SolverSweeps == 0 {
 		t.Fatalf("solver stats not recorded: %+v", inc.Stats)
 	}
@@ -64,7 +67,17 @@ func TestIncrementalTogglesAgree(t *testing.T) {
 	if checked.Stats.Evals == 0 {
 		t.Fatal("cross-checked run recorded no evals")
 	}
+	if checked.Stats.VoltCrossChecks == 0 {
+		t.Fatalf("voltage refreshes were not cross-checked: %+v", checked.Stats)
+	}
 	if canon(checked) != canon(inc) {
 		t.Fatal("cross-checked run disagrees")
+	}
+	fullVolt := run(WithIncrementalVoltage(false))
+	if fullVolt.Stats.VoltIncrementalRefreshes != 0 {
+		t.Fatalf("full-voltage run used the assigner: %+v", fullVolt.Stats)
+	}
+	if canon(fullVolt) != canon(inc) {
+		t.Fatal("incremental and full voltage refreshes disagree")
 	}
 }

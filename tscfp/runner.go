@@ -103,19 +103,23 @@ func newResult(res *core.Result, mode Mode, seed int64) *Result {
 		Legal:     res.Layout.Legal(),
 		Metrics:   newMetrics(&res.Metrics),
 		Stats: RunStats{
-			Evals:             res.EvalStats.Evals,
-			FullEvals:         res.EvalStats.FullEvals,
-			IncrementalEvals:  res.EvalStats.IncrementalEvals,
-			VoltRefreshes:     res.EvalStats.VoltRefreshes,
-			DiesRepacked:      res.EvalStats.DiesRepacked,
-			DiesReused:        res.EvalStats.DiesReused,
-			NetsRecomputed:    res.EvalStats.NetsRecomputed,
-			NetsReused:        res.EvalStats.NetsReused,
-			ResponsesComputed: res.EvalStats.ResponsesComputed,
-			ResponsesReused:   res.EvalStats.ResponsesReused,
-			SolverSweeps:      res.SolverStats.Sweeps,
-			SolverResidual:    res.SolverStats.Residual,
-			SolverConverged:   res.SolverStats.Converged,
+			Evals:                    res.EvalStats.Evals,
+			FullEvals:                res.EvalStats.FullEvals,
+			IncrementalEvals:         res.EvalStats.IncrementalEvals,
+			VoltRefreshes:            res.EvalStats.VoltRefreshes,
+			VoltIncrementalRefreshes: res.EvalStats.VoltIncrementalRefreshes,
+			VoltCandidatesReused:     res.EvalStats.VoltCandidatesReused,
+			VoltCandidatesRegrown:    res.EvalStats.VoltCandidatesRegrown,
+			VoltCrossChecks:          res.EvalStats.VoltCrossChecks,
+			DiesRepacked:             res.EvalStats.DiesRepacked,
+			DiesReused:               res.EvalStats.DiesReused,
+			NetsRecomputed:           res.EvalStats.NetsRecomputed,
+			NetsReused:               res.EvalStats.NetsReused,
+			ResponsesComputed:        res.EvalStats.ResponsesComputed,
+			ResponsesReused:          res.EvalStats.ResponsesReused,
+			SolverSweeps:             res.SolverStats.Sweeps,
+			SolverResidual:           res.SolverStats.Residual,
+			SolverConverged:          res.SolverStats.Converged,
 		},
 		raw: res,
 	}
