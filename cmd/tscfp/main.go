@@ -26,22 +26,24 @@ func main() {
 	log.SetPrefix("tscfp: ")
 
 	var (
-		benchName = flag.String("bench", "n100", "benchmark name (n100 n200 n300 ibm01 ibm03 ibm07)")
-		mode      = flag.String("mode", "tsc", "floorplanning mode: pa (power-aware) or tsc (TSC-aware)")
-		runs      = flag.Int("runs", 1, "independent floorplanning runs to average")
-		workers   = flag.Int("workers", 1, "concurrent runs (0 = one per CPU)")
-		iters     = flag.Int("iters", 3000, "simulated-annealing iterations per run")
-		grid      = flag.Int("grid", 32, "thermal/leakage grid resolution per axis")
-		samples   = flag.Int("samples", 100, "activity samples for correlation stability (Eq. 2)")
-		seed      = flag.Int64("seed", 1, "base random seed (run k uses seed+k)")
-		jsonOut   = flag.String("json", "", "write the last run's full result to this JSON file")
-		maps      = flag.Bool("maps", false, "print ASCII heatmaps of the last run's power/thermal maps")
-		showFP    = flag.Bool("floorplan", false, "print an ASCII rendering of the last run's floorplan")
-		protect   = flag.Bool("protect", false, "post-process only the sensitive modules (Sec. 7.1 adaptation)")
-		par       = flag.Int("parallelism", 0, "thermal solver/estimator worker goroutines per run (0 = one per CPU, 1 = serial; results identical)")
-		fullCost  = flag.Bool("full-recompute", false, "disable the incremental cost evaluator (debug/reference; much slower)")
-		fullVolt  = flag.Bool("full-volt", false, "recompute the voltage assignment from scratch at every refresh instead of the incremental engine (debug/reference)")
-		checkCost = flag.Bool("check-cost", false, "cross-check every incremental cost (and voltage refresh) against a full recompute (debug; very slow)")
+		benchName   = flag.String("bench", "n100", "benchmark name (n100 n200 n300 ibm01 ibm03 ibm07)")
+		mode        = flag.String("mode", "tsc", "floorplanning mode: pa (power-aware) or tsc (TSC-aware)")
+		runs        = flag.Int("runs", 1, "independent floorplanning runs to average")
+		workers     = flag.Int("workers", 1, "concurrent runs (0 = one per CPU)")
+		iters       = flag.Int("iters", 3000, "simulated-annealing iterations per run")
+		grid        = flag.Int("grid", 32, "thermal/leakage grid resolution per axis")
+		samples     = flag.Int("samples", 100, "activity samples for correlation stability (Eq. 2)")
+		seed        = flag.Int64("seed", 1, "base random seed (run k uses seed+k)")
+		jsonOut     = flag.String("json", "", "write the last run's full result to this JSON file")
+		maps        = flag.Bool("maps", false, "print ASCII heatmaps of the last run's power/thermal maps")
+		showFP      = flag.Bool("floorplan", false, "print an ASCII rendering of the last run's floorplan")
+		protect     = flag.Bool("protect", false, "post-process only the sensitive modules (Sec. 7.1 adaptation)")
+		par         = flag.Int("parallelism", 0, "thermal solver/estimator worker goroutines per run (0 = one per CPU, 1 = serial; results identical)")
+		fullCost    = flag.Bool("full-recompute", false, "disable the incremental cost evaluator (debug/reference; much slower)")
+		fullVolt    = flag.Bool("full-volt", false, "recompute the voltage assignment from scratch at every refresh instead of the incremental engine (debug/reference)")
+		fullEntropy = flag.Bool("full-entropy", false, "recompute the spatial entropy from scratch per dirty die instead of the incremental entropy cache (debug/reference)")
+		fullAdj     = flag.Bool("full-adj", false, "re-sweep module adjacency at every voltage refresh instead of the incremental adjacency index (debug/reference)")
+		checkCost   = flag.Bool("check-cost", false, "cross-check every incremental cost (and voltage refresh, entropy patch, adjacency update) against a full recompute (debug; very slow)")
 	)
 	flag.Parse()
 
@@ -73,6 +75,8 @@ func main() {
 		tscfp.WithParallelism(*par),
 		tscfp.WithIncrementalCost(!*fullCost),
 		tscfp.WithIncrementalVoltage(!*fullVolt),
+		tscfp.WithIncrementalEntropy(!*fullEntropy),
+		tscfp.WithAdjacencyIndex(!*fullAdj),
 		tscfp.WithCostCrossCheck(*checkCost),
 	}
 	if *protect {

@@ -163,12 +163,29 @@ type Config struct {
 	// IncrementalCost — the full-recompute evaluator has no move journal to
 	// derive dirtiness from, so it always runs the full volt.Assign.
 	IncrementalVoltage *bool
+	// IncrementalEntropy selects the incremental spatial-entropy refresh
+	// (TSC mode): each die holds a leakage.EntropyCache that patches the
+	// nested-means classification and the per-class Manhattan terms from
+	// the power-map diff instead of recomputing Eq. 3 from scratch on every
+	// dirty die. Nil defaults to true. Only effective together with
+	// IncrementalCost (the full-recompute evaluator has no patched maps to
+	// diff against).
+	IncrementalEntropy *bool
+	// AdjacencyIndex selects the churn-tolerant adjacency structure inside
+	// the incremental voltage engine: a floorplan.AdjacencyIndex patched
+	// per refresh from the move journal's dirty set, replacing the full
+	// adjacency re-sweep and all-rows diff. Nil defaults to true. Only
+	// effective together with IncrementalVoltage.
+	AdjacencyIndex *bool
 	// CostCrossCheck re-evaluates every annealing move through the full
 	// recompute path and panics if the incremental cost drifts beyond
 	// 1e-9 (relative); with IncrementalVoltage it additionally pins every
 	// incremental voltage refresh against a fresh full volt.Assign
-	// (identical volumes, TotalPower within 1e-9). Debug aid: it forfeits
-	// the entire speedup.
+	// (identical volumes, TotalPower within 1e-9), with AdjacencyIndex the
+	// cached adjacency rows against a fresh sweep (exact equality), and
+	// with IncrementalEntropy every patched per-die entropy against a
+	// from-scratch leakage.SpatialEntropy (1e-9 relative). Debug aid: it
+	// forfeits the entire speedup.
 	CostCrossCheck bool
 	// Progress, when non-nil, receives per-stage events as the flow
 	// advances. The callback runs synchronously on the flow goroutine and
@@ -251,6 +268,14 @@ func (c *Config) defaults() {
 		inc := true
 		c.IncrementalVoltage = &inc
 	}
+	if c.IncrementalEntropy == nil {
+		inc := true
+		c.IncrementalEntropy = &inc
+	}
+	if c.AdjacencyIndex == nil {
+		inc := true
+		c.AdjacencyIndex = &inc
+	}
 }
 
 // EvalStats reports the annealing-loop evaluation effort: how many cost
@@ -276,6 +301,26 @@ type EvalStats struct {
 	// VoltCrossChecks counts incremental-vs-full voltage-assignment
 	// comparisons (0 unless Config.CostCrossCheck was set).
 	VoltCrossChecks int
+	// EntropyPatched/EntropyRebuilt count per-die spatial-entropy refreshes
+	// served by patching the entropy cache vs rebuilt from scratch (first
+	// use, voltage-scale changes, wholesale map changes);
+	// EntropyCrossChecks counts patched-vs-full comparisons (0 unless
+	// Config.CostCrossCheck was set).
+	EntropyPatched     int
+	EntropyRebuilt     int
+	EntropyCrossChecks int
+	// AdjFullSweeps counts full adjacency re-sweeps inside the voltage
+	// engine (rebuilds, refreshes with the index disabled, and index
+	// updates that fell back to the bulk sweep-plus-diff path at high
+	// churn); AdjIncrementalUpdates counts stride refreshes served by the
+	// index's per-module probes. The index paths together reported
+	// AdjRowsChanged changed neighbour rows. AdjCrossChecks counts
+	// index-vs-sweep row comparisons (0 unless Config.CostCrossCheck was
+	// set).
+	AdjFullSweeps         int
+	AdjIncrementalUpdates int
+	AdjRowsChanged        int
+	AdjCrossChecks        int
 	// DiesRepacked/DiesReused count per-die skyline packings run vs skipped.
 	DiesRepacked int
 	DiesReused   int

@@ -39,12 +39,17 @@ type evaluator struct {
 
 	// incr, when non-nil, holds the incremental caches; voltIncr routes the
 	// stride voltage refreshes through incr's cached volt.Assigner instead
-	// of a from-scratch volt.Assign (requires incr); check enables the
+	// of a from-scratch volt.Assign (requires incr); entropyIncr serves the
+	// per-dirty-die spatial entropy from incr's leakage.EntropyCache
+	// instead of a from-scratch SpatialEntropy; adjIncr equips the cached
+	// assigner with the churn-tolerant adjacency index; check enables the
 	// per-eval full-recompute cross-check (debug aid, heavily slows runs).
-	incr     *incrState
-	voltIncr bool
-	check    bool
-	stats    EvalStats
+	incr        *incrState
+	voltIncr    bool
+	entropyIncr bool
+	adjIncr     bool
+	check       bool
+	stats       EvalStats
 }
 
 type normTerms struct {
@@ -206,6 +211,10 @@ func designRuleTerm(l *floorplan.Layout, powers []float64) float64 {
 	return away / total
 }
 
+// voltConfig is the shared assignment configuration. One-shot volt.Assign
+// calls (the full path and the cross-check references) force FullAdjacency
+// themselves; the held Assigner in refreshVoltAssignment sets it from the
+// AdjacencyIndex option.
 func (e *evaluator) voltConfig() volt.Config {
 	mode := volt.PowerAware
 	if e.cfg.Mode == TSCAware {

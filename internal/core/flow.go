@@ -54,6 +54,8 @@ func RunContext(ctx context.Context, des *netlist.Design, cfg Config) (*Result, 
 	if *cfg.IncrementalCost {
 		ev.incr = newIncrState()
 		ev.voltIncr = *cfg.IncrementalVoltage
+		ev.entropyIncr = *cfg.IncrementalEntropy
+		ev.adjIncr = *cfg.AdjacencyIndex
 	}
 	var best *floorplan.Floorplan
 	cfg.emit(ProgressEvent{Stage: StageAnneal, Total: cfg.SAIterations})

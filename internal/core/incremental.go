@@ -30,6 +30,12 @@ import (
 //     which is re-anchored by the full map rebuild at every voltage-refresh
 //     stride (Config.VoltEvery) and bounded well below the 1e-9 cross-check
 //     epsilon;
+//   - per-die spatial entropies (TSC mode) are served by
+//     leakage.EntropyCache when evaluator.entropyIncr is set: the cache
+//     diffs each dirty die's map against its own value mirror and patches
+//     the nested-means sort and the per-class histogram sums, reproducing
+//     the from-scratch SpatialEntropy bit for bit (see the entCaches field
+//     for the rollback story);
 //   - every mutation this evaluation makes to the caches is journaled; the
 //     undo closure returned by Perturb rolls the journal back, so rejected
 //     moves restore the caches exactly (byte for byte — rejected moves
@@ -57,6 +63,14 @@ type incrState struct {
 	resp      [][]*geom.Grid // resp[s] = fast.Response(maps[s], s)
 	entropy   []float64      // per-die spatial entropy (TSC mode only)
 	mapsValid bool           // maps/resp/entropy reflect lay under current scales
+
+	// entCaches[d] incrementally maintains die d's spatial entropy
+	// (evaluator.entropyIncr, TSC mode). The caches are self-synchronizing —
+	// each Update diffs the grid against the cache's own value mirror — so
+	// rejected moves need no cache rollback: the journal restores the map
+	// bytes and the entropy values, and the next Update on a die
+	// re-converges exactly. Only the VALUES are journaled (oldEntropy).
+	entCaches []*leakage.EntropyCache
 
 	pending *floorplan.Move // applied to fp but not yet to the caches
 	journal *moveJournal    // rollback record of the last evaluated move
@@ -393,6 +407,16 @@ func (ic *incrState) initGeometry(e *evaluator) {
 	ic.resp = make([][]*geom.Grid, ic.lay.Dies)
 	ic.entropy = make([]float64, ic.lay.Dies)
 	ic.mapsValid = false
+	if e.cfg.Mode == TSCAware && e.entropyIncr && ic.entCaches == nil {
+		ic.entCaches = make([]*leakage.EntropyCache, ic.lay.Dies)
+		for d := range ic.entCaches {
+			c, err := leakage.NewEntropyCache(leakage.EntropyOptions{})
+			if err != nil {
+				panic(fmt.Sprintf("core: default entropy options rejected: %v", err))
+			}
+			ic.entCaches[d] = c
+		}
+	}
 
 	ic.candMark = make([]bool, nMods)
 	ic.netStamp = make([]int, nNets)
@@ -577,7 +601,7 @@ func (ic *incrState) updateMaps(e *evaluator, powers []float64) {
 		for s := 0; s < ic.lay.Dies; s++ {
 			ic.resp[s] = e.fast.Response(ic.maps[s], s)
 			if tsc {
-				ic.entropy[s] = leakage.SpatialEntropy(ic.maps[s], leakage.EntropyOptions{})
+				ic.entropy[s] = ic.dieEntropy(e, s)
 			}
 		}
 		ic.mapsValid = true
@@ -610,12 +634,37 @@ func (ic *incrState) updateMaps(e *evaluator, powers []float64) {
 		ic.resp[d] = e.fast.Response(ic.maps[d], d)
 		if tsc {
 			j.oldEntropy = append(j.oldEntropy, ic.entropy[d])
-			ic.entropy[d] = leakage.SpatialEntropy(ic.maps[d], leakage.EntropyOptions{})
+			ic.entropy[d] = ic.dieEntropy(e, d)
 		}
 	}
 	e.stats.ResponsesComputed += len(ic.dirty)
 	e.stats.ResponsesReused += ic.lay.Dies - len(ic.dirty)
 	ic.dirty = ic.dirty[:0]
+}
+
+// dieEntropy returns die d's spatial entropy under the current maps: served
+// by the incremental entropy cache when enabled, otherwise the from-scratch
+// Eq. 3 evaluation. With the cross-check active every cached value is pinned
+// against the full recompute at 1e-9 (relative).
+func (ic *incrState) dieEntropy(e *evaluator, d int) float64 {
+	if ic.entCaches == nil {
+		return leakage.SpatialEntropy(ic.maps[d], leakage.EntropyOptions{})
+	}
+	ent, patched := ic.entCaches[d].Update(ic.maps[d])
+	if patched {
+		e.stats.EntropyPatched++
+	} else {
+		e.stats.EntropyRebuilt++
+	}
+	if e.check {
+		e.stats.EntropyCrossChecks++
+		want := leakage.SpatialEntropy(ic.maps[d], leakage.EntropyOptions{})
+		if diff := math.Abs(ent - want); diff > 1e-9*math.Max(1, math.Abs(want)) {
+			panic(fmt.Sprintf("core: incremental entropy %v diverged from full recompute %v on die %d (|diff| %g)",
+				ent, want, d, diff))
+		}
+	}
+	return ent
 }
 
 // markVoltDirty records module m as changed since the voltage assigner's
@@ -643,7 +692,9 @@ func (ic *incrState) clearVoltDirty() {
 // volt.Assign on the current layout, which the check path verifies.
 func (ic *incrState) refreshVoltAssignment(e *evaluator, ref *timing.Analysis) *volt.Assignment {
 	if ic.vasg == nil {
-		ic.vasg = volt.NewAssigner(e.voltConfig())
+		cfg := e.voltConfig()
+		cfg.FullAdjacency = !e.adjIncr
+		ic.vasg = volt.NewAssigner(cfg)
 	}
 	if ic.voltAllDirty {
 		ic.vasg.Invalidate()
@@ -655,8 +706,15 @@ func (ic *incrState) refreshVoltAssignment(e *evaluator, ref *timing.Analysis) *
 	e.stats.VoltIncrementalRefreshes = st.Refreshes
 	e.stats.VoltCandidatesReused = st.CandidatesReused
 	e.stats.VoltCandidatesRegrown = st.CandidatesRegrown
+	e.stats.AdjFullSweeps = st.AdjFullSweeps
+	e.stats.AdjIncrementalUpdates = st.AdjIncrementalUpdates
+	e.stats.AdjRowsChanged = st.AdjRowsChanged
 	if e.check {
 		e.crossCheckVolt(ic.lay, ref, asg)
+		e.stats.AdjCrossChecks++
+		if err := ic.vasg.CheckAdjacency(ic.lay); err != nil {
+			panic(fmt.Sprintf("core: adjacency index diverged from full sweep: %v", err))
+		}
 	}
 	return asg
 }

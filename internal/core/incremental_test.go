@@ -23,6 +23,8 @@ func makeEval(t *testing.T, mode Mode, incremental bool, seed int64) *evaluator 
 	if incremental {
 		ev.incr = newIncrState()
 		ev.voltIncr = *cfg.IncrementalVoltage
+		ev.entropyIncr = *cfg.IncrementalEntropy
+		ev.adjIncr = *cfg.AdjacencyIndex
 	}
 	return ev
 }

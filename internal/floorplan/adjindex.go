@@ -1,0 +1,398 @@
+package floorplan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// AdjacencyIndex is a churn-tolerant module-adjacency structure: it holds
+// the same per-module neighbour rows AdjacentModulesInto computes, but keeps
+// them alive between refreshes and patches only the rows a set of moved
+// modules can have changed, instead of re-sweeping every die. This is the
+// adjacency half of the annealing loop's incremental evaluator — at the
+// voltage-refresh stride the full X-sweep plus the all-rows diff was the
+// largest remaining shared cost once the candidate-tree cache landed, and
+// both are O(design) regardless of how few modules actually moved.
+//
+// Layout of the structure:
+//
+//   - rows[m] is module m's neighbour list, ascending module ids — exactly
+//     the order the sweep (and the historical all-pairs scan) emits;
+//   - per die, modules are registered in fixed-width X-interval buckets.
+//     A moved module is re-bucketed and its new row is recomputed by probing
+//     only the buckets its (margin-padded) X span covers, on its own die and
+//     the neighbouring dies, with the exact predicates of the sweep
+//     (Rect.Adjacent laterally, positive footprint overlap vertically);
+//   - gained and lost neighbours get module m spliced into / out of their
+//     sorted rows, so every row always equals a from-scratch sweep of the
+//     current geometry.
+//
+// Update is driven by a dirty-module list under the same contract as
+// volt.Assigner.Refresh: the list must cover every module whose rect or die
+// differs from the layout the index last saw; supersets are safe (modules
+// whose stored geometry already matches are skipped in O(1)).
+// An AdjacencyIndex is not safe for concurrent use.
+type AdjacencyIndex struct {
+	n     int
+	dies  int
+	nb    int     // buckets per die
+	bw    float64 // bucket pitch in um
+	valid bool
+
+	rects []geom.Rect // stored geometry, synchronized by Rebuild/Update
+	dieOf []int
+	// buckets[d*nb+b] lists the modules on die d whose X span covers bucket
+	// b. Order within a bucket is arbitrary (rows are sorted on emission).
+	buckets [][]int
+	rows    [][]int
+
+	// Scratch.
+	sweep       AdjacencyScratch
+	stamp       int
+	candMark    []int // stamp-based candidate dedupe
+	movedMark   []int // stamp-based moved-module membership
+	changedMark []int // stamp-based changed-row dedupe
+	moved       []int
+	changed     []int
+	newRow      []int
+	rowBuf      []int
+}
+
+// NewAdjacencyIndex returns an empty index; Rebuild fills it.
+func NewAdjacencyIndex() *AdjacencyIndex { return &AdjacencyIndex{} }
+
+// Valid reports whether the index currently mirrors a layout.
+func (ix *AdjacencyIndex) Valid() bool { return ix.valid }
+
+// Invalidate drops the mirrored state; the next use must Rebuild.
+func (ix *AdjacencyIndex) Invalidate() { ix.valid = false }
+
+// Rows returns the per-module adjacency rows, value-identical to
+// AdjacentModulesInto on the mirrored layout. The rows are owned by the
+// index and are patched in place by Update.
+func (ix *AdjacencyIndex) Rows() [][]int { return ix.rows }
+
+// Rebuild resets the index from a full sweep of the layout.
+func (ix *AdjacencyIndex) Rebuild(l *Layout) {
+	n := len(l.Rects)
+	if ix.rects == nil || ix.n != n || ix.dies != l.Dies {
+		ix.n = n
+		ix.dies = l.Dies
+		ix.rects = make([]geom.Rect, n)
+		ix.dieOf = make([]int, n)
+		ix.rows = make([][]int, n)
+		ix.candMark = make([]int, n)
+		ix.movedMark = make([]int, n)
+		ix.changedMark = make([]int, n)
+		ix.stamp = 0
+		// Bucket pitch: aim at a handful of modules per bucket per die.
+		ix.nb = n / l.Dies / 4
+		if ix.nb < 8 {
+			ix.nb = 8
+		}
+		if ix.nb > 256 {
+			ix.nb = 256
+		}
+		ix.buckets = make([][]int, l.Dies*ix.nb)
+	}
+	ix.bw = l.OutlineW / float64(ix.nb)
+	if ix.bw <= 0 {
+		ix.bw = 1
+	}
+	copy(ix.rects, l.Rects)
+	copy(ix.dieOf, l.DieOf)
+	for b := range ix.buckets {
+		ix.buckets[b] = ix.buckets[b][:0]
+	}
+	for m := 0; m < n; m++ {
+		ix.bucketInsert(m)
+	}
+	swept := l.AdjacentModulesInto(&ix.sweep)
+	for m := range swept {
+		ix.rows[m] = append(ix.rows[m][:0], swept[m]...)
+	}
+	ix.valid = true
+}
+
+// Update synchronizes the index after the listed modules moved and returns
+// the modules whose adjacency rows changed (deduplicated, unordered), plus
+// whether the update fell back to the bulk sweep-plus-diff path (so callers
+// can count sweep-regime and probe-regime refreshes separately). The
+// returned slice aliases scratch — valid until the next Update. Modules in
+// dirty whose stored geometry already matches the layout are skipped, so a
+// superset is safe. Panics if the index was never built or the design size
+// changed (the callers rebuild on those transitions).
+func (ix *AdjacencyIndex) Update(l *Layout, dirty []int) (changedRows []int, bulk bool) {
+	if !ix.valid || len(l.Rects) != ix.n || l.Dies != ix.dies {
+		panic("floorplan: AdjacencyIndex.Update without a matching Rebuild")
+	}
+	// Collect the modules that really moved, deduplicated.
+	ix.stamp++
+	movedStamp := ix.stamp
+	moved := ix.moved[:0]
+	for _, m := range dirty {
+		if ix.movedMark[m] == movedStamp {
+			continue
+		}
+		if ix.rects[m] == l.Rects[m] && ix.dieOf[m] == l.DieOf[m] {
+			continue // no-op relative to the mirrored geometry
+		}
+		ix.movedMark[m] = movedStamp
+		moved = append(moved, m)
+	}
+	ix.moved = moved
+	if len(moved) == 0 {
+		return nil, false
+	}
+
+	// Above the churn threshold the per-module probes cannot beat one
+	// batch sweep (the sweep's sorted X scan amortizes across the whole
+	// die), so the index resynchronizes wholesale: same rows, same changed
+	// set, better constant. The threshold is the measured crossover between
+	// probe cost and sweep-plus-diff cost on the annealing workloads.
+	if len(moved)*bulkFraction > ix.n {
+		return ix.bulkResync(l), true
+	}
+
+	// Phase 1: re-bucket every moved module so the probes below see current
+	// geometry for moved-moved pairs too.
+	for _, m := range moved {
+		ix.bucketRemove(m)
+		ix.rects[m] = l.Rects[m]
+		ix.dieOf[m] = l.DieOf[m]
+		ix.bucketInsert(m)
+	}
+
+	// Phase 2: recompute each moved module's row, splice the gains/losses
+	// into the untouched neighbours' rows, and collect every changed row.
+	ix.stamp++
+	changedStamp := ix.stamp
+	changed := ix.changed[:0]
+	note := func(m int) {
+		if ix.changedMark[m] != changedStamp {
+			ix.changedMark[m] = changedStamp
+			changed = append(changed, m)
+		}
+	}
+	for _, m := range moved {
+		newRow := ix.probeRow(m)
+		oldRow := ix.rows[m]
+		// Sorted two-pointer diff; neighbours that are themselves moved are
+		// skipped (their own probe rebuilds their row in full).
+		i, j := 0, 0
+		rowChanged := false
+		for i < len(oldRow) || j < len(newRow) {
+			switch {
+			case j == len(newRow) || (i < len(oldRow) && oldRow[i] < newRow[j]):
+				u := oldRow[i]
+				i++
+				rowChanged = true
+				if ix.movedMark[u] != movedStamp {
+					ix.rowRemove(u, m)
+					note(u)
+				}
+			case i == len(oldRow) || oldRow[i] > newRow[j]:
+				u := newRow[j]
+				j++
+				rowChanged = true
+				if ix.movedMark[u] != movedStamp {
+					ix.rowInsert(u, m)
+					note(u)
+				}
+			default:
+				i++
+				j++
+			}
+		}
+		if rowChanged {
+			note(m)
+		}
+		ix.rows[m] = append(ix.rows[m][:0], newRow...)
+	}
+	ix.changed = changed
+	return changed, false
+}
+
+// bulkFraction sets the churn threshold: Update switches to bulkResync once
+// more than n/bulkFraction modules moved since the last synchronization.
+const bulkFraction = 8
+
+// bulkResync brings the whole index in line with l via one adjacency sweep:
+// buckets are refilled, every row is diffed against the swept rows, and the
+// changed ones are copied in. Row contents and the returned changed set are
+// identical to what the per-module probe path would produce.
+func (ix *AdjacencyIndex) bulkResync(l *Layout) []int {
+	copy(ix.rects, l.Rects)
+	copy(ix.dieOf, l.DieOf)
+	for b := range ix.buckets {
+		ix.buckets[b] = ix.buckets[b][:0]
+	}
+	for m := 0; m < ix.n; m++ {
+		ix.bucketInsert(m)
+	}
+	swept := l.AdjacentModulesInto(&ix.sweep)
+	changed := ix.changed[:0]
+	for m := range swept {
+		if !intSlicesEqual(ix.rows[m], swept[m]) {
+			ix.rows[m] = append(ix.rows[m][:0], swept[m]...)
+			changed = append(changed, m)
+		}
+	}
+	ix.changed = changed
+	return changed
+}
+
+func intSlicesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckAgainst compares every row with a fresh sweep of l and returns a
+// description of the first divergence, or nil. Debug aid for the flow's
+// cross-check path; it forfeits the incremental speedup.
+func (ix *AdjacencyIndex) CheckAgainst(l *Layout) error {
+	if !ix.valid {
+		return fmt.Errorf("floorplan: adjacency index not built")
+	}
+	want := l.AdjacentModulesInto(&AdjacencyScratch{})
+	if len(want) != ix.n {
+		return fmt.Errorf("floorplan: adjacency index tracks %d modules, layout has %d", ix.n, len(want))
+	}
+	for m := range want {
+		if len(ix.rows[m]) != len(want[m]) {
+			return fmt.Errorf("floorplan: module %d adjacency %v != sweep %v", m, ix.rows[m], want[m])
+		}
+		for k := range want[m] {
+			if ix.rows[m][k] != want[m][k] {
+				return fmt.Errorf("floorplan: module %d adjacency %v != sweep %v", m, ix.rows[m], want[m])
+			}
+		}
+	}
+	return nil
+}
+
+// bucketRange returns the bucket span covering [lo, hi], clamped.
+func (ix *AdjacencyIndex) bucketRange(lo, hi float64) (int, int) {
+	b0 := int(lo / ix.bw)
+	b1 := int(hi / ix.bw)
+	if b0 < 0 {
+		b0 = 0
+	}
+	if b1 >= ix.nb {
+		b1 = ix.nb - 1
+	}
+	if b1 < b0 {
+		b1 = b0
+	}
+	return b0, b1
+}
+
+func (ix *AdjacencyIndex) bucketInsert(m int) {
+	r := ix.rects[m]
+	b0, b1 := ix.bucketRange(r.X, r.MaxX())
+	base := ix.dieOf[m] * ix.nb
+	for b := b0; b <= b1; b++ {
+		ix.buckets[base+b] = append(ix.buckets[base+b], m)
+	}
+}
+
+func (ix *AdjacencyIndex) bucketRemove(m int) {
+	r := ix.rects[m]
+	b0, b1 := ix.bucketRange(r.X, r.MaxX())
+	base := ix.dieOf[m] * ix.nb
+	for b := b0; b <= b1; b++ {
+		s := ix.buckets[base+b]
+		for k, v := range s {
+			if v == m {
+				s[k] = s[len(s)-1]
+				ix.buckets[base+b] = s[:len(s)-1]
+				break
+			}
+		}
+	}
+}
+
+// probeRow recomputes module m's neighbour row from the buckets, sorted
+// ascending. The same-die probe pads the span with the sweep's margin (which
+// exceeds Rect.Adjacent's relative tolerance at any realistic die
+// coordinate); the vertical probes need no padding, since footprint overlap
+// requires shared open X intervals. The returned slice aliases scratch.
+func (ix *AdjacencyIndex) probeRow(m int) []int {
+	const margin = 1e-3
+	r := ix.rects[m]
+	d := ix.dieOf[m]
+	ix.stamp++
+	seen := ix.stamp
+	row := ix.newRow[:0]
+
+	// The interval prefilters mirror the sweep's pruning windows (same
+	// margin argument): entries failing them are skipped before the dedupe
+	// stamp and the exact predicate, which keeps the per-entry cost of the
+	// piled-up buckets an annealing-era layout produces (heavy overlap,
+	// outline overflow) at a couple of float compares.
+	collect := func(die int, lo, hi, yLo, yHi float64, vertical bool) {
+		b0, b1 := ix.bucketRange(lo, hi)
+		base := die * ix.nb
+		for b := b0; b <= b1; b++ {
+			for _, u := range ix.buckets[base+b] {
+				ru := ix.rects[u]
+				if ru.X > hi || ru.X+ru.W < lo || ru.Y > yHi || ru.Y+ru.H < yLo {
+					continue
+				}
+				if u == m || ix.candMark[u] == seen {
+					continue
+				}
+				ix.candMark[u] = seen
+				if vertical {
+					if r.OverlapArea(ru) > 0 {
+						row = append(row, u)
+					}
+				} else if r.Adjacent(ru) {
+					row = append(row, u)
+				}
+			}
+		}
+	}
+	collect(d, r.X-margin, r.MaxX()+margin, r.Y-margin, r.MaxY()+margin, false)
+	if d > 0 {
+		collect(d-1, r.X, r.MaxX(), r.Y, r.MaxY(), true)
+	}
+	if d+1 < ix.dies {
+		collect(d+1, r.X, r.MaxX(), r.Y, r.MaxY(), true)
+	}
+	sort.Ints(row)
+	ix.newRow = row
+	return row
+}
+
+// rowRemove splices m out of u's sorted row.
+func (ix *AdjacencyIndex) rowRemove(u, m int) {
+	row := ix.rows[u]
+	k := sort.SearchInts(row, m)
+	if k < len(row) && row[k] == m {
+		copy(row[k:], row[k+1:])
+		ix.rows[u] = row[:len(row)-1]
+	}
+}
+
+// rowInsert splices m into u's sorted row.
+func (ix *AdjacencyIndex) rowInsert(u, m int) {
+	row := ix.rows[u]
+	k := sort.SearchInts(row, m)
+	if k < len(row) && row[k] == m {
+		return
+	}
+	row = append(row, 0)
+	copy(row[k+1:], row[k:])
+	row[k] = m
+	ix.rows[u] = row
+}

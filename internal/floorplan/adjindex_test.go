@@ -1,0 +1,183 @@
+package floorplan
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/geom"
+)
+
+// snapshotRows deep-copies adjacency rows for the changed-set assertion.
+func snapshotRows(rows [][]int) [][]int {
+	out := make([][]int, len(rows))
+	for m := range rows {
+		out[m] = append([]int(nil), rows[m]...)
+	}
+	return out
+}
+
+func rowsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAdjacencyIndexMatchesSweepOverMoves drives the index through journaled
+// move sequences with rejections interleaved — exactly the churn the
+// annealing loop produces — and pins every row against a fresh
+// AdjacentModulesInto sweep, plus the changed-set contract: every module
+// whose row differs from the pre-update rows must be reported changed.
+func TestAdjacencyIndexMatchesSweepOverMoves(t *testing.T) {
+	des := bench.MustGenerate("n100")
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		fp := NewRandom(des, rng)
+		l := fp.Pack()
+		ix := NewAdjacencyIndex()
+		ix.Rebuild(l)
+		if err := ix.CheckAgainst(l); err != nil {
+			t.Fatalf("seed %d: rebuild diverges: %v", seed, err)
+		}
+
+		prev := append([]geom.Rect(nil), l.Rects...)
+		prevDie := append([]int(nil), l.DieOf...)
+		sync := func(step int) {
+			// Dirty set: every module whose geometry changed since the index
+			// last saw the layout (the evaluator derives this from its move
+			// journal; the test diffs outright).
+			var dirty []int
+			for m := range l.Rects {
+				if l.Rects[m] != prev[m] || l.DieOf[m] != prevDie[m] {
+					dirty = append(dirty, m)
+				}
+			}
+			before := snapshotRows(ix.Rows())
+			changed, _ := ix.Update(l, dirty)
+			if err := ix.CheckAgainst(l); err != nil {
+				t.Fatalf("seed %d step %d: index diverges after update: %v", seed, step, err)
+			}
+			inChanged := make(map[int]bool, len(changed))
+			for _, m := range changed {
+				inChanged[m] = true
+			}
+			for m := range before {
+				if !rowsEqual(before[m], ix.Rows()[m]) && !inChanged[m] {
+					t.Fatalf("seed %d step %d: module %d row changed but was not reported", seed, step, m)
+				}
+			}
+			copy(prev, l.Rects)
+			copy(prevDie, l.DieOf)
+		}
+
+		for i := 0; i < 120; i++ {
+			mv, undo := fp.PerturbMove(rng)
+			for _, d := range mv.Dies {
+				fp.PackDie(l, d)
+			}
+			sync(i)
+			if rng.Float64() < 0.4 {
+				// Rejection: the floorplan reverts and the dies repack to
+				// their pre-move geometry; the index must follow exactly.
+				undo()
+				for _, d := range mv.Dies {
+					fp.PackDie(l, d)
+				}
+				sync(i)
+			}
+		}
+	}
+}
+
+// TestAdjacencyIndexSupersetDirtyIsSafe passes every module as dirty on
+// every update — the documented superset allowance — and expects identical
+// rows at no correctness cost.
+func TestAdjacencyIndexSupersetDirtyIsSafe(t *testing.T) {
+	des := bench.MustGenerate("n100")
+	rng := rand.New(rand.NewSource(9))
+	fp := NewRandom(des, rng)
+	l := fp.Pack()
+	ix := NewAdjacencyIndex()
+	ix.Rebuild(l)
+	all := make([]int, len(l.Rects))
+	for m := range all {
+		all[m] = m
+	}
+	for i := 0; i < 40; i++ {
+		mv, _ := fp.PerturbMove(rng)
+		for _, d := range mv.Dies {
+			fp.PackDie(l, d)
+		}
+		ix.Update(l, all)
+		if err := ix.CheckAgainst(l); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}
+
+// TestAdjacencyIndexUpdateRequiresRebuild pins the misuse guard: Update on
+// an unbuilt (or size-mismatched) index must panic, not corrupt silently.
+func TestAdjacencyIndexUpdateRequiresRebuild(t *testing.T) {
+	des := bench.MustGenerate("n100")
+	fp := NewRandom(des, rand.New(rand.NewSource(1)))
+	l := fp.Pack()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Update on an unbuilt index must panic")
+		}
+	}()
+	NewAdjacencyIndex().Update(l, []int{0})
+}
+
+// BenchmarkAdjacencyIndexUpdate measures Update against the full sweep at
+// increasing churn (moves applied between synchronizations) on the largest
+// benchmark — the measurement behind the index's bulk-resync threshold
+// (bulkFraction): below it the per-module probes win, above it Update
+// degrades gracefully to sweep-plus-diff cost instead of probing hundreds
+// of modules.
+func BenchmarkAdjacencyIndexUpdate(b *testing.B) {
+	des := bench.MustGenerate("ibm01")
+	rng := rand.New(rand.NewSource(1))
+	fp := NewRandom(des, rng)
+	l := fp.Pack()
+	for _, churn := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("update/moves=%d", churn), func(b *testing.B) {
+			ix := NewAdjacencyIndex()
+			ix.Rebuild(l)
+			prev := append([]geom.Rect(nil), l.Rects...)
+			var dirty []int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for k := 0; k < churn; k++ {
+					mv, _ := fp.PerturbMove(rng)
+					for _, d := range mv.Dies {
+						fp.PackDie(l, d)
+					}
+				}
+				dirty = dirty[:0]
+				for m := range l.Rects {
+					if l.Rects[m] != prev[m] {
+						dirty = append(dirty, m)
+					}
+				}
+				copy(prev, l.Rects)
+				b.StartTimer()
+				ix.Update(l, dirty)
+			}
+		})
+	}
+	b.Run("sweep", func(b *testing.B) {
+		s := &AdjacencyScratch{}
+		for i := 0; i < b.N; i++ {
+			l.AdjacentModulesInto(s)
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package floorplan
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// fuzzDesign synthesizes a small stacked design whose module mix (hard and
+// soft, varied shapes) is derived from the fuzz seed, so the packer sees
+// different geometry regimes — tight packings, overhangs, skinny modules —
+// across the corpus without depending on the benchmark generator.
+func fuzzDesign(rng *rand.Rand) *netlist.Design {
+	nMods := 6 + rng.Intn(10)
+	des := &netlist.Design{
+		Name:     "fuzz",
+		Dies:     2 + rng.Intn(2),
+		OutlineW: 80 + rng.Float64()*80,
+		OutlineH: 80 + rng.Float64()*80,
+	}
+	for i := 0; i < nMods; i++ {
+		m := &netlist.Module{
+			Name:  "m",
+			W:     4 + rng.Float64()*40,
+			H:     4 + rng.Float64()*40,
+			Power: 0.01,
+		}
+		if rng.Intn(2) == 0 {
+			m.Kind = netlist.Soft
+			m.MinAspect = 0.3
+			m.MaxAspect = 3
+		} else {
+			m.Kind = netlist.Hard
+		}
+		des.Modules = append(des.Modules, m)
+	}
+	return des
+}
+
+// FuzzPackDieFrom drives the prefix-resumed skyline packer (PackDieFrom +
+// DiePacker snapshots) through random move sequences with rejections and
+// cost-less undos interleaved, and requires the incrementally maintained
+// layout to stay bit-identical to a from-scratch Pack after every event —
+// the exact contract the annealing loop's incremental evaluator builds on.
+//
+// The script bytes steer the protocol per move: bit 0 rejects the move after
+// the partial repack (undo + invalidate + repack, the journal-rollback
+// path), bit 1 undoes it before any repack (the undo-before-Cost path).
+// The seed drives the design shape and the move randomness.
+func FuzzPackDieFrom(f *testing.F) {
+	f.Add(int64(1), []byte{0x00, 0x01, 0x02, 0x03})
+	f.Add(int64(7), []byte{0x01, 0x01, 0x01, 0x01, 0x01, 0x01})
+	f.Add(int64(42), []byte{0x02, 0x00, 0x02, 0x01, 0x03, 0x00, 0x01})
+	f.Add(int64(-3), []byte("\xff\x00\xaa\x55packer"))
+	f.Fuzz(func(t *testing.T, seed int64, script []byte) {
+		if len(script) > 64 {
+			script = script[:64]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		des := fuzzDesign(rng)
+		fp := NewRandom(des, rng)
+		lay := fp.Pack()
+		packers := make([]*DiePacker, des.Dies)
+		for d := range packers {
+			packers[d] = &DiePacker{}
+		}
+		repack := func(mv Move) {
+			for i, d := range mv.Dies {
+				fp.PackDieFrom(lay, d, mv.Starts[i], packers[d])
+			}
+		}
+		invalidate := func(mv Move) {
+			for i, d := range mv.Dies {
+				packers[d].Invalidate(mv.Starts[i])
+			}
+		}
+		check := func(step int, what string) {
+			t.Helper()
+			want := fp.Pack()
+			for m := range want.Rects {
+				if lay.Rects[m] != want.Rects[m] || lay.DieOf[m] != want.DieOf[m] {
+					t.Fatalf("step %d (%s): module %d incremental %+v/die%d != full %+v/die%d",
+						step, what, m, lay.Rects[m], lay.DieOf[m], want.Rects[m], want.DieOf[m])
+				}
+			}
+		}
+		check(-1, "initial")
+		for step, b := range script {
+			mv, undo := fp.PerturbMove(rng)
+			if b&2 != 0 {
+				// Undo before any repack (the evaluator's undo-before-Cost
+				// corner): the floorplan reverts, the stale layout must still
+				// equal a fresh Pack, and the untouched snapshots stay valid.
+				undo()
+				invalidate(mv)
+				check(step, "undo-before-repack")
+				continue
+			}
+			repack(mv)
+			check(step, "apply")
+			if b&1 != 0 {
+				// Rejection: undo, drop the snapshots past the move's resume
+				// points, repack the same dies — geometry must revert bit for
+				// bit.
+				undo()
+				invalidate(mv)
+				repack(mv)
+				check(step, "reject")
+			}
+		}
+		if !fp.CheckInvariants() {
+			t.Fatal("floorplan invariants violated")
+		}
+	})
+}

@@ -136,11 +136,14 @@ func MostStableBin(stab *geom.Grid, exclude []bool) (i, j int, val float64) {
 // EntropyOptions tunes the nested-means classification.
 type EntropyOptions struct {
 	// MaxDepth bounds the recursive bi-partitioning (2^MaxDepth classes at
-	// most). Default 5 (up to 32 classes).
+	// most). Default 5 (up to 32 classes). Zero selects the default;
+	// negative values are invalid (they would silently collapse every bin
+	// into one class — see Validate).
 	MaxDepth int
 	// StdDevFrac stops splitting a class once its standard deviation falls
 	// below this fraction of the whole map's standard deviation ("until the
 	// standard deviation within any class approaches zero"). Default 0.05.
+	// Zero selects the default; negative or non-finite values are invalid.
 	StdDevFrac float64
 }
 
@@ -153,10 +156,60 @@ func (o *EntropyOptions) defaults() {
 	}
 }
 
+// Validate rejects option values that would silently misclassify: a negative
+// MaxDepth collapses the whole map into a single class (a non-positive class
+// count), and a negative or non-finite StdDevFrac disables or corrupts the
+// stop rule. Zero values are the documented defaults and are valid.
+func (o EntropyOptions) Validate() error {
+	if o.MaxDepth < 0 {
+		return fmt.Errorf("leakage: EntropyOptions.MaxDepth %d is negative (2^MaxDepth classes must be positive)", o.MaxDepth)
+	}
+	if o.StdDevFrac < 0 || math.IsNaN(o.StdDevFrac) || math.IsInf(o.StdDevFrac, 0) {
+		return fmt.Errorf("leakage: EntropyOptions.StdDevFrac %v must be finite and non-negative", o.StdDevFrac)
+	}
+	return nil
+}
+
+// ValidatePowerMap rejects power maps the entropy metrics cannot classify:
+// nil or empty grids, grids whose Data does not match NX*NY, and maps
+// containing non-finite values (these would corrupt the value sort and the
+// class means without any error surfacing).
+func ValidatePowerMap(power *geom.Grid) error {
+	if power == nil {
+		return fmt.Errorf("leakage: nil power map")
+	}
+	if power.NX <= 0 || power.NY <= 0 || len(power.Data) == 0 {
+		return fmt.Errorf("leakage: empty power map (%dx%d, %d samples)", power.NX, power.NY, len(power.Data))
+	}
+	if len(power.Data) != power.NX*power.NY {
+		return fmt.Errorf("leakage: power map has %d samples for %dx%d bins", len(power.Data), power.NX, power.NY)
+	}
+	for i, v := range power.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("leakage: power map bin %d holds non-finite value %v", i, v)
+		}
+	}
+	return nil
+}
+
+// mustEntropyInputs panics on invalid entropy inputs; SpatialEntropy and
+// NestedMeansClasses treat them as programmer errors (matching Pearson's
+// grid-mismatch contract). Callers that need an error instead should call
+// Validate/ValidatePowerMap themselves, or use NewEntropyCache.
+func mustEntropyInputs(power *geom.Grid, opts EntropyOptions) {
+	if err := opts.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if err := ValidatePowerMap(power); err != nil {
+		panic(err.Error())
+	}
+}
+
 // SpatialEntropy computes the spatial entropy S_d of a power map (paper
 // Eq. 3): classes of similar power value from nested-means partitioning,
 // each class weighted by its inter-/intra-class Manhattan distance ratio
-// and its Shannon term.
+// and its Shannon term. It panics on invalid options or power maps (see
+// EntropyOptions.Validate and ValidatePowerMap).
 func SpatialEntropy(power *geom.Grid, opts EntropyOptions) float64 {
 	opts.defaults()
 	classes := NestedMeansClasses(power, opts)
@@ -167,9 +220,10 @@ func SpatialEntropy(power *geom.Grid, opts EntropyOptions) float64 {
 // partitioning of the power values: values are recursively bi-partitioned at
 // the current class mean until the within-class standard deviation
 // approaches zero (or MaxDepth is hit). Class ids are dense, starting at 0,
-// ordered by ascending power.
+// ordered by ascending power. It panics on invalid options or power maps.
 func NestedMeansClasses(power *geom.Grid, opts EntropyOptions) []int {
 	opts.defaults()
+	mustEntropyInputs(power, opts)
 	n := len(power.Data)
 	globalStd := power.StdDev()
 	stop := opts.StdDevFrac * globalStd
@@ -181,11 +235,25 @@ func NestedMeansClasses(power *geom.Grid, opts EntropyOptions) []int {
 	sort.Slice(items, func(a, b int) bool { return items[a].val < items[b].val })
 
 	classOf := make([]int, n)
-	nextClass := 0
+	nestedMeansSplit(items, classOf, stop, opts.MaxDepth)
+	return classOf
+}
 
+// nestedMeansSplit runs the recursive nested-means bi-partitioning over a
+// value-sorted item slice, assigning dense class ids (ascending power) into
+// classOf, indexed by bin. It returns the class count.
+//
+// The split decisions read only the value sequence, and a cut can never land
+// inside a run of equal values (all of them compare to the mean the same
+// way), so the resulting bin->class assignment is a pure function of the
+// value multiset — any tie order in items yields the identical classOf. The
+// EntropyCache relies on this to keep its incrementally maintained sort
+// bit-compatible with the from-scratch sort here.
+func nestedMeansSplit(items []item, classOf []int, stop float64, maxDepth int) int {
+	nextClass := 0
 	var split func(lo, hi, depth int)
 	split = func(lo, hi, depth int) {
-		if hi-lo <= 1 || depth >= opts.MaxDepth || stdOf(items[lo:hi]) <= stop {
+		if hi-lo <= 1 || depth >= maxDepth || stdOf(items[lo:hi]) <= stop {
 			for k := lo; k < hi; k++ {
 				classOf[items[k].idx] = nextClass
 			}
@@ -213,8 +281,8 @@ func NestedMeansClasses(power *geom.Grid, opts EntropyOptions) []int {
 		split(lo, cut, depth+1)
 		split(cut, hi, depth+1)
 	}
-	split(0, n, 0)
-	return classOf
+	split(0, len(items), 0)
+	return nextClass
 }
 
 type item struct {

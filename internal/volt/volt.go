@@ -64,6 +64,14 @@ type Config struct {
 	// why TSC-aware floorplanning ends up with many more volumes
 	// (Table 2: +87%). Default 0.5.
 	DensityTolerance float64
+	// FullAdjacency disables the Assigner's churn-tolerant adjacency index
+	// (floorplan.AdjacencyIndex): every Refresh then re-sweeps the layout's
+	// adjacency from scratch and diffs all rows — the debugging reference
+	// the index is pinned against. Results are value-identical either way.
+	// The one-shot Assign forces it on (a throwaway engine could never
+	// amortize the index build); the index only pays off for a held
+	// Assigner refreshed over small layout changes.
+	FullAdjacency bool
 }
 
 func (c *Config) defaults() {
@@ -105,10 +113,13 @@ type Assignment struct {
 // must have been produced at the 1.0 V reference (delayScale nil).
 //
 // Assign is the one-shot form of the engine: it builds a throwaway Assigner
-// and runs a full rebuild. Callers refreshing the assignment repeatedly over
-// small layout changes (the annealing loop) should hold an Assigner and use
-// Refresh, which reuses every candidate tree whose inputs did not change.
+// and runs a full rebuild. The adjacency index is forced off — a throwaway
+// engine could never amortize its build. Callers refreshing the assignment
+// repeatedly over small layout changes (the annealing loop) should hold an
+// Assigner and use Refresh, which reuses every candidate tree whose inputs
+// did not change.
 func Assign(l *floorplan.Layout, ref *timing.Analysis, cfg Config) *Assignment {
+	cfg.FullAdjacency = true
 	return NewAssigner(cfg).Assign(l, ref)
 }
 

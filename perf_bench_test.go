@@ -21,14 +21,23 @@ import (
 	"repro/internal/thermal"
 )
 
+// annealLegConfig toggles the incremental stack one PR at a time, so the
+// legs bracket each optimization generation.
+type annealLegConfig struct {
+	label       string
+	incremental bool // PR 2: geometric/thermal caches
+	incrVolt    bool // PR 3: cached voltage engine
+	incrEntropy bool // PR 4: incremental spatial entropy
+	adjIndex    bool // PR 4: churn-tolerant adjacency index
+}
+
 // annealLoopRun executes the SA search (no post-processing) — the flow's
 // hot path — at a fixed budget so legs are comparable.
-func annealLoopRun(b *testing.B, name string, incremental, incrVolt bool, iters int) *core.Result {
+func annealLoopRun(b *testing.B, name string, leg annealLegConfig, iters int) *core.Result {
 	b.Helper()
 	des := bench.MustGenerate(name)
 	post := false
-	inc := incremental
-	iv := incrVolt
+	inc, iv, ie, ai := leg.incremental, leg.incrVolt, leg.incrEntropy, leg.adjIndex
 	res, err := core.Run(des, core.Config{
 		Mode:               core.TSCAware,
 		SAIterations:       iters,
@@ -36,6 +45,8 @@ func annealLoopRun(b *testing.B, name string, incremental, incrVolt bool, iters 
 		PostProcess:        &post,
 		IncrementalCost:    &inc,
 		IncrementalVoltage: &iv,
+		IncrementalEntropy: &ie,
+		AdjacencyIndex:     &ai,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -43,29 +54,30 @@ func annealLoopRun(b *testing.B, name string, incremental, incrVolt bool, iters 
 	return res
 }
 
-// BenchmarkAnnealLoop times the annealing loop in three legs — the
+// BenchmarkAnnealLoop times the annealing loop in five legs — the
 // full-recompute reference, the incremental geometric/thermal caches with
-// from-scratch voltage refreshes (the PR 2 configuration), and the full
-// incremental evaluator including the cached voltage engine (the default) —
-// on a small (n100) and a large (ibm01) benchmark. All legs must find the
-// identical best floorplan (asserted by TestFlowIncrementalMatchesFull and
-// TestFlowIncrementalVoltageMatchesFullVoltage in internal/core).
+// from-scratch voltage refreshes (the PR 2 configuration), the cached
+// voltage engine on top (PR 3), the incremental entropy cache on top of
+// that, and the full stack including the adjacency index (the PR 4
+// default) — on a small (n100) and a large (ibm01) benchmark. All legs must
+// find the identical best floorplan (asserted by
+// TestFlowIncrementalMatchesFull, TestFlowIncrementalVoltageMatchesFull-
+// Voltage, and TestFlowIncrementalEntropyAdjacencyMatchesFull in
+// internal/core).
 func BenchmarkAnnealLoop(b *testing.B) {
 	iters := benchIters()
 	for _, name := range []string{"n100", "ibm01"} {
-		for _, leg := range []struct {
-			label       string
-			incremental bool
-			incrVolt    bool
-		}{
-			{"full-recompute", false, false},
-			{"incremental", true, false},
-			{"incremental-volt", true, true},
+		for _, leg := range []annealLegConfig{
+			{label: "full-recompute"},
+			{label: "incremental", incremental: true},
+			{label: "incremental-volt", incremental: true, incrVolt: true},
+			{label: "incremental-entropy", incremental: true, incrVolt: true, incrEntropy: true},
+			{label: "incremental-all", incremental: true, incrVolt: true, incrEntropy: true, adjIndex: true},
 		} {
 			b.Run(fmt.Sprintf("%s/%s", name, leg.label), func(b *testing.B) {
 				var st core.EvalStats
 				for i := 0; i < b.N; i++ {
-					st = annealLoopRun(b, name, leg.incremental, leg.incrVolt, iters).EvalStats
+					st = annealLoopRun(b, name, leg, iters).EvalStats
 				}
 				if st.Evals > 0 {
 					b.ReportMetric(float64(st.NetsReused)/float64(st.Evals), "nets_reused/eval")
@@ -74,6 +86,14 @@ func BenchmarkAnnealLoop(b *testing.B) {
 				if st.VoltCandidatesReused+st.VoltCandidatesRegrown > 0 {
 					b.ReportMetric(float64(st.VoltCandidatesReused)/
 						float64(st.VoltCandidatesReused+st.VoltCandidatesRegrown), "volt_cands_reused_frac")
+				}
+				if st.EntropyPatched+st.EntropyRebuilt > 0 {
+					b.ReportMetric(float64(st.EntropyPatched)/
+						float64(st.EntropyPatched+st.EntropyRebuilt), "entropy_patched_frac")
+				}
+				if st.AdjIncrementalUpdates > 0 {
+					b.ReportMetric(float64(st.AdjRowsChanged)/
+						float64(st.AdjIncrementalUpdates), "adj_rows_changed/update")
 				}
 			})
 		}

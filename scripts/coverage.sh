@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Race-enabled test run with a per-package coverage summary and a regression
+# gate: the suite runs `go test -race -cover ./...`, writes the per-package
+# percentages to a CSV artifact, and fails if a gated package's coverage
+# drops below the floor recorded in scripts/coverage_baseline.txt (the
+# values measured when the gate landed; raise them when coverage improves,
+# never lower them to make a red build green).
+#
+# Usage:
+#   scripts/coverage.sh                 # gate + artifacts under coverage/
+#   OUT_DIR=/tmp/cov scripts/coverage.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT_DIR="${OUT_DIR:-coverage}"
+BASELINE="scripts/coverage_baseline.txt"
+mkdir -p "$OUT_DIR"
+
+RAW="$OUT_DIR/test.txt"
+CSV="$OUT_DIR/coverage.csv"
+
+echo "== go test -race -cover ./... -> $OUT_DIR"
+go test -race -cover ./... | tee "$RAW"
+
+# Parse `ok  <pkg>  <time>  coverage: NN.N% of statements` lines.
+awk 'BEGIN { print "package,coverage_pct" }
+     $1 == "ok" {
+       pct = ""
+       for (i = 1; i <= NF; i++) if ($i == "coverage:") { pct = $(i+1); sub(/%$/, "", pct) }
+       if (pct != "") printf "%s,%s\n", $2, pct
+     }' "$RAW" > "$CSV"
+echo "== per-package coverage written to $CSV"
+
+# Gate: each `<package> <min_pct>` line in the baseline must be met.
+fail=0
+while read -r pkg floor; do
+  case "$pkg" in ''|'#'*) continue;; esac
+  got="$(awk -F, -v p="$pkg" '$1 == p { print $2 }' "$CSV")"
+  if [ -z "$got" ]; then
+    echo "coverage gate: no coverage recorded for $pkg" >&2
+    fail=1
+    continue
+  fi
+  if awk -v g="$got" -v f="$floor" 'BEGIN { exit !(g < f) }'; then
+    echo "coverage gate: $pkg at ${got}% is below the ${floor}% floor" >&2
+    fail=1
+  else
+    echo "coverage gate: $pkg at ${got}% (floor ${floor}%)"
+  fi
+done < "$BASELINE"
+exit "$fail"

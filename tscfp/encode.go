@@ -68,6 +68,24 @@ type RunStats struct {
 	VoltCandidatesReused     int `json:"volt_candidates_reused"`
 	VoltCandidatesRegrown    int `json:"volt_candidates_regrown"`
 	VoltCrossChecks          int `json:"volt_cross_checks"`
+	// EntropyPatched/EntropyRebuilt count per-die spatial-entropy refreshes
+	// served by patching the entropy cache vs rebuilt from scratch;
+	// EntropyCrossChecks the patched-vs-full comparisons (0 unless
+	// WithCostCrossCheck).
+	EntropyPatched     int `json:"entropy_patched"`
+	EntropyRebuilt     int `json:"entropy_rebuilt"`
+	EntropyCrossChecks int `json:"entropy_cross_checks"`
+	// AdjFullSweeps counts full adjacency re-sweeps inside the voltage
+	// engine (rebuilds, index-disabled refreshes, and index updates that
+	// fell back to the bulk sweep-plus-diff path at high churn);
+	// AdjIncrementalUpdates the refreshes served by the index's per-module
+	// probes (the index paths together changed AdjRowsChanged neighbour
+	// rows); AdjCrossChecks the index-vs-sweep comparisons (0 unless
+	// WithCostCrossCheck).
+	AdjFullSweeps         int `json:"adj_full_sweeps"`
+	AdjIncrementalUpdates int `json:"adj_incremental_updates"`
+	AdjRowsChanged        int `json:"adj_rows_changed"`
+	AdjCrossChecks        int `json:"adj_cross_checks"`
 	// DiesRepacked/DiesReused count per-die skyline packings run vs skipped;
 	// NetsRecomputed/NetsReused the per-net wirelength+delay refreshes;
 	// ResponsesComputed/ResponsesReused the per-source thermal blurs.

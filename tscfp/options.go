@@ -352,11 +352,45 @@ func WithIncrementalVoltage(enabled bool) Option {
 	}
 }
 
+// WithIncrementalEntropy selects the incremental spatial-entropy refresh
+// (TSC mode). Enabled by default: each die holds an entropy cache that
+// maintains the nested-means value sort and evaluates the per-class
+// Manhattan terms of Eq. 3 from coordinate histograms, patching both from
+// the power-map diff of each move instead of recomputing the metric from
+// scratch per dirty die. Disabling it restores the from-scratch evaluation.
+// Both paths agree within 1e-9 per die (see WithCostCrossCheck) and produce
+// the identical best floorplan for a fixed seed; only effective together
+// with WithIncrementalCost, since the caches live in its move journal.
+func WithIncrementalEntropy(enabled bool) Option {
+	return func(s *settings) {
+		v := enabled
+		s.cfg.IncrementalEntropy = &v
+	}
+}
+
+// WithAdjacencyIndex selects the churn-tolerant adjacency structure inside
+// the incremental voltage engine. Enabled by default: the cached assigner
+// keeps a bucketed interval index of module adjacency and each stride
+// refresh patches only the neighbour rows the moved modules touched,
+// replacing the full adjacency re-sweep and all-rows diff. Disabling it
+// restores the re-sweep (the debugging reference the index is pinned
+// against). Row sets are exactly equal either way; only effective together
+// with WithIncrementalVoltage, which owns the assigner.
+func WithAdjacencyIndex(enabled bool) Option {
+	return func(s *settings) {
+		v := enabled
+		s.cfg.AdjacencyIndex = &v
+	}
+}
+
 // WithCostCrossCheck re-evaluates every annealing move through the full
 // recompute path and panics if the incremental cost drifts beyond 1e-9
 // (relative); with WithIncrementalVoltage it additionally pins every
 // incremental voltage refresh against a from-scratch assignment (identical
-// volumes, total power within 1e-9). Debug aid: it forfeits the entire
+// volumes, total power within 1e-9), with WithAdjacencyIndex the cached
+// adjacency rows against a fresh sweep (exact equality), and with
+// WithIncrementalEntropy every patched per-die entropy against a
+// from-scratch recompute (1e-9 relative). Debug aid: it forfeits the entire
 // incremental speedup. It has no effect when WithIncrementalCost(false) is
 // set.
 func WithCostCrossCheck(enabled bool) Option {

@@ -53,6 +53,12 @@ func TestIncrementalTogglesAgree(t *testing.T) {
 	if inc.Stats.VoltIncrementalRefreshes == 0 || inc.Stats.VoltCandidatesReused == 0 {
 		t.Fatalf("incremental voltage stats not recorded: %+v", inc.Stats)
 	}
+	// AdjRowsChanged is only counted by the adjacency index (its probe or
+	// bulk path), so it witnesses the index engaging even when every update
+	// at this design size takes the bulk path.
+	if inc.Stats.EntropyPatched == 0 || inc.Stats.AdjRowsChanged == 0 {
+		t.Fatalf("default run never engaged the entropy/adjacency caches: %+v", inc.Stats)
+	}
 	if !inc.Stats.SolverConverged || inc.Stats.SolverSweeps == 0 {
 		t.Fatalf("solver stats not recorded: %+v", inc.Stats)
 	}
@@ -70,6 +76,9 @@ func TestIncrementalTogglesAgree(t *testing.T) {
 	if checked.Stats.VoltCrossChecks == 0 {
 		t.Fatalf("voltage refreshes were not cross-checked: %+v", checked.Stats)
 	}
+	if checked.Stats.EntropyCrossChecks == 0 || checked.Stats.AdjCrossChecks == 0 {
+		t.Fatalf("entropy/adjacency caches were not cross-checked: %+v", checked.Stats)
+	}
 	if canon(checked) != canon(inc) {
 		t.Fatal("cross-checked run disagrees")
 	}
@@ -79,5 +88,12 @@ func TestIncrementalTogglesAgree(t *testing.T) {
 	}
 	if canon(fullVolt) != canon(inc) {
 		t.Fatal("incremental and full voltage refreshes disagree")
+	}
+	fullEntAdj := run(WithIncrementalEntropy(false), WithAdjacencyIndex(false))
+	if fullEntAdj.Stats.EntropyPatched != 0 || fullEntAdj.Stats.AdjRowsChanged != 0 {
+		t.Fatalf("disabled entropy/adjacency caches engaged: %+v", fullEntAdj.Stats)
+	}
+	if canon(fullEntAdj) != canon(inc) {
+		t.Fatal("incremental and full entropy/adjacency refreshes disagree")
 	}
 }

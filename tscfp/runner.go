@@ -111,6 +111,13 @@ func newResult(res *core.Result, mode Mode, seed int64) *Result {
 			VoltCandidatesReused:     res.EvalStats.VoltCandidatesReused,
 			VoltCandidatesRegrown:    res.EvalStats.VoltCandidatesRegrown,
 			VoltCrossChecks:          res.EvalStats.VoltCrossChecks,
+			EntropyPatched:           res.EvalStats.EntropyPatched,
+			EntropyRebuilt:           res.EvalStats.EntropyRebuilt,
+			EntropyCrossChecks:       res.EvalStats.EntropyCrossChecks,
+			AdjFullSweeps:            res.EvalStats.AdjFullSweeps,
+			AdjIncrementalUpdates:    res.EvalStats.AdjIncrementalUpdates,
+			AdjRowsChanged:           res.EvalStats.AdjRowsChanged,
+			AdjCrossChecks:           res.EvalStats.AdjCrossChecks,
 			DiesRepacked:             res.EvalStats.DiesRepacked,
 			DiesReused:               res.EvalStats.DiesReused,
 			NetsRecomputed:           res.EvalStats.NetsRecomputed,
