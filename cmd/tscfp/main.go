@@ -43,7 +43,8 @@ func main() {
 		fullVolt    = flag.Bool("full-volt", false, "recompute the voltage assignment from scratch at every refresh instead of the incremental engine (debug/reference)")
 		fullEntropy = flag.Bool("full-entropy", false, "recompute the spatial entropy from scratch per dirty die instead of the incremental entropy cache (debug/reference)")
 		fullAdj     = flag.Bool("full-adj", false, "re-sweep module adjacency at every voltage refresh instead of the incremental adjacency index (debug/reference)")
-		checkCost   = flag.Bool("check-cost", false, "cross-check every incremental cost (and voltage refresh, entropy patch, adjacency update) against a full recompute (debug; very slow)")
+		fullSTA     = flag.Bool("full-sta", false, "run two full-design STA passes per annealing evaluation instead of the incremental timing caches (debug/reference)")
+		checkCost   = flag.Bool("check-cost", false, "cross-check every incremental cost (and voltage refresh, entropy patch, adjacency update, STA patch) against a full recompute (debug; very slow)")
 	)
 	flag.Parse()
 
@@ -77,6 +78,7 @@ func main() {
 		tscfp.WithIncrementalVoltage(!*fullVolt),
 		tscfp.WithIncrementalEntropy(!*fullEntropy),
 		tscfp.WithAdjacencyIndex(!*fullAdj),
+		tscfp.WithIncrementalSTA(!*fullSTA),
 		tscfp.WithCostCrossCheck(*checkCost),
 	}
 	if *protect {

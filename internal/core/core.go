@@ -177,15 +177,26 @@ type Config struct {
 	// adjacency re-sweep and all-rows diff. Nil defaults to true. Only
 	// effective together with IncrementalVoltage.
 	AdjacencyIndex *bool
+	// IncrementalSTA selects the incremental static-timing engine: the
+	// annealing loop holds two timing.STACache instances (the reference
+	// analysis feeding voltage refreshes and the delay-scaled one feeding
+	// the critical-delay cost term) that patch Arrive/Depart/Critical from
+	// each move's refreshed nets instead of re-running two full STA passes
+	// per evaluation, with journaled undo for rejected moves. Nil defaults
+	// to true. Only effective together with IncrementalCost — the caches
+	// are patched from its move journal's net list.
+	IncrementalSTA *bool
 	// CostCrossCheck re-evaluates every annealing move through the full
 	// recompute path and panics if the incremental cost drifts beyond
 	// 1e-9 (relative); with IncrementalVoltage it additionally pins every
 	// incremental voltage refresh against a fresh full volt.Assign
 	// (identical volumes, TotalPower within 1e-9), with AdjacencyIndex the
-	// cached adjacency rows against a fresh sweep (exact equality), and
-	// with IncrementalEntropy every patched per-die entropy against a
-	// from-scratch leakage.SpatialEntropy (1e-9 relative). Debug aid: it
-	// forfeits the entire speedup.
+	// cached adjacency rows against a fresh sweep (exact equality), with
+	// IncrementalEntropy every patched per-die entropy against a
+	// from-scratch leakage.SpatialEntropy (1e-9 relative), and with
+	// IncrementalSTA both cached analyses (Critical, Arrive, Depart,
+	// ModuleDelay, NetDelay) against a full AnalyzeFromNetDelays pass at
+	// 1e-9 on every evaluation. Debug aid: it forfeits the entire speedup.
 	CostCrossCheck bool
 	// Progress, when non-nil, receives per-stage events as the flow
 	// advances. The callback runs synchronously on the flow goroutine and
@@ -276,6 +287,10 @@ func (c *Config) defaults() {
 		inc := true
 		c.AdjacencyIndex = &inc
 	}
+	if c.IncrementalSTA == nil {
+		inc := true
+		c.IncrementalSTA = &inc
+	}
 }
 
 // EvalStats reports the annealing-loop evaluation effort: how many cost
@@ -321,6 +336,20 @@ type EvalStats struct {
 	AdjIncrementalUpdates int
 	AdjRowsChanged        int
 	AdjCrossChecks        int
+	// STAPatches counts per-move incremental patches applied across the two
+	// timing caches (reference + delay-scaled); STARebuilds their full STA
+	// passes (first use, voltage-scale changes, invalidations).
+	// STAModulesRecomputed totals the per-patch Arrive/Depart module
+	// recomputes (the caches' actual work, vs nModules per full pass) and
+	// STACritRescans the patches that re-derived the critical max with a
+	// flat scan because a module attaining it decreased. STACrossChecks
+	// counts cached-vs-full analysis comparisons (0 unless
+	// Config.CostCrossCheck was set).
+	STAPatches           int
+	STARebuilds          int
+	STAModulesRecomputed int
+	STACritRescans       int
+	STACrossChecks       int
 	// DiesRepacked/DiesReused count per-die skyline packings run vs skipped.
 	DiesRepacked int
 	DiesReused   int

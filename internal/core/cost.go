@@ -42,12 +42,16 @@ type evaluator struct {
 	// of a from-scratch volt.Assign (requires incr); entropyIncr serves the
 	// per-dirty-die spatial entropy from incr's leakage.EntropyCache
 	// instead of a from-scratch SpatialEntropy; adjIncr equips the cached
-	// assigner with the churn-tolerant adjacency index; check enables the
-	// per-eval full-recompute cross-check (debug aid, heavily slows runs).
+	// assigner with the churn-tolerant adjacency index; staIncr serves the
+	// per-move reference and delay-scaled STA from incr's timing.STACache
+	// pair instead of two full AnalyzeFromNetDelaysInto passes; check
+	// enables the per-eval full-recompute cross-check (debug aid, heavily
+	// slows runs).
 	incr        *incrState
 	voltIncr    bool
 	entropyIncr bool
 	adjIncr     bool
+	staIncr     bool
 	check       bool
 	stats       EvalStats
 }

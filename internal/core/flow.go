@@ -56,6 +56,7 @@ func RunContext(ctx context.Context, des *netlist.Design, cfg Config) (*Result, 
 		ev.voltIncr = *cfg.IncrementalVoltage
 		ev.entropyIncr = *cfg.IncrementalEntropy
 		ev.adjIncr = *cfg.AdjacencyIndex
+		ev.staIncr = *cfg.IncrementalSTA
 	}
 	var best *floorplan.Floorplan
 	cfg.emit(ProgressEvent{Stage: StageAnneal, Total: cfg.SAIterations})

@@ -23,13 +23,13 @@ import (
 //     a pin on a module whose placement actually changed — the values are
 //     recomputed from scratch (not accumulated), so they are identical to a
 //     full recompute;
-//   - per-die power maps are patched by subtracting the moved modules' old
-//     footprints and re-adding the new ones, and the fast estimator's
-//     per-source blur responses are recomputed only for dies whose map
-//     changed. The subtract/re-add introduces float round-off of a few ulps,
-//     which is re-anchored by the full map rebuild at every voltage-refresh
-//     stride (Config.VoltEvery) and bounded well below the 1e-9 cross-check
-//     epsilon;
+//   - per-die power maps are re-rasterized from scratch for exactly the
+//     dies a changed module left or entered (PowerMapInto, bit-identical to
+//     the full path's PowerMap — an additive subtract/re-add patch would
+//     leave ulp-level round-off that the discontinuous nested-means entropy
+//     classification can amplify past the 1e-9 contract), and the fast
+//     estimator's per-source blur responses are recomputed only for dies
+//     whose map changed;
 //   - per-die spatial entropies (TSC mode) are served by
 //     leakage.EntropyCache when evaluator.entropyIncr is set: the cache
 //     diffs each dirty die's map against its own value mirror and patches
@@ -97,6 +97,22 @@ type incrState struct {
 	voltDirtyList []int
 	voltAllDirty  bool
 
+	// Incremental STA (evaluator.staIncr): staRefC tracks the reference
+	// analysis (delayScale nil, feeding the voltage refresh) and staScaledC
+	// the delay-scaled one (feeding the cost's critical-delay term), both
+	// patched per move from the journal's net list instead of re-running a
+	// full pass. The scaled cache is invalidated whenever the voltage
+	// scales change (stride refreshes) and rebuilt lazily. Patches are
+	// journaled inside the caches; the move journal records which caches
+	// were patched vs rebuilt so rollback can Revert or Invalidate exactly.
+	staRefC    *timing.STACache
+	staScaledC *timing.STACache
+	staNets    []int // per-move scratch: nets whose delay value changed
+	// staStatsBase folds in the counters of STA cache generations dropped
+	// by a wholesale geometry rebuild, so Result.Stats reports run totals
+	// like every other cache's counters do.
+	staStatsBase timing.STACacheStats
+
 	// Scratch, sized once.
 	candMark []bool
 	cands    []int
@@ -105,7 +121,8 @@ type incrState struct {
 	dieMark  []bool
 
 	// Recycled buffers: the annealing loop runs one evaluation per move, so
-	// per-eval allocations are worth pooling.
+	// per-eval allocations are worth pooling. staRef/staScaled back the
+	// full-STA reference path (staIncr off).
 	staRef    *timing.Analysis
 	staScaled *timing.Analysis
 	temps     []*geom.Grid
@@ -183,6 +200,22 @@ type moveJournal struct {
 	// rollback can unmark exactly them (unless refreshed, which re-derives
 	// the set instead — see incrState.voltDirty).
 	voltAdded []int
+
+	// staRefPatched/staScaledPatched mark that applyMove patched the STA
+	// caches with this move's nets (rollback calls Revert);
+	// staRefRebuilt/staScaledRebuilt that a cache ran a full Rebuild during
+	// this evaluation, so its journal cannot restore the pre-move state and
+	// rollback must Invalidate it instead. Rebuilt wins over patched (a
+	// patched-then-rebuilt cache holds the rejected geometry wholesale).
+	// staScaleStable marks that this evaluation's voltage refresh
+	// reproduced the previous delay scales value-for-value, so a rejected
+	// refresh eval can still Revert the scaled cache (the surviving scales
+	// match what it was built under) instead of dropping it.
+	staRefPatched    bool
+	staScaledPatched bool
+	staRefRebuilt    bool
+	staScaledRebuilt bool
+	staScaleStable   bool
 }
 
 // newIncrState allocates an empty cache set; everything is built lazily on
@@ -233,6 +266,7 @@ func (ic *incrState) rollback() {
 		ic.lay = nil
 		ic.mapsValid = false
 		ic.packers = nil
+		ic.invalidateSTA()
 		if ic.voltDirty != nil {
 			// The caches are gone wholesale; the assigner's snapshot no
 			// longer corresponds to anything we can diff against.
@@ -285,6 +319,25 @@ func (ic *incrState) rollback() {
 		ic.netWL[ni] = j.netWL[i]
 		ic.netDelay[ni] = j.netDelay[i]
 	}
+	// The STA caches mirror ic.netDelay: revert the per-move patch, unless
+	// the cache ran a full rebuild during the rejected evaluation (then the
+	// journal describes nothing restorable) or — for the scaled cache — the
+	// voltage scales changed (they survive rollback, so the cache must be
+	// rebuilt under them on the next evaluation either way).
+	if ic.staRefC != nil {
+		if j.staRefRebuilt {
+			ic.staRefC.Invalidate()
+		} else if j.staRefPatched {
+			ic.staRefC.Revert()
+		}
+	}
+	if ic.staScaledC != nil {
+		if j.staScaledRebuilt || (j.refreshed && !j.staScaleStable) {
+			ic.staScaledC.Invalidate()
+		} else if j.staScaledPatched {
+			ic.staScaledC.Revert()
+		}
+	}
 	if j.refreshed || j.mapsRebuilt {
 		// Either the scales changed (and survive rollback) or the maps were
 		// rebuilt wholesale under the now-undone geometry; both ways they
@@ -328,16 +381,32 @@ func (e *evaluator) incrementalCost() float64 {
 	t.wl = wl
 
 	if refreshed := e.refreshVoltage(ic.lay, func() *timing.Analysis {
-		ic.staRef = timing.AnalyzeFromNetDelaysInto(ic.lay.Design, ic.netDelay, nil, ic.staRef)
-		return ic.staRef
+		return ic.refSTA(e)
 	}); refreshed {
 		ic.mapsValid = false
 		if ic.journal != nil {
 			ic.journal.refreshed = true
 		}
+		if ic.staScaledC != nil {
+			if ic.staScaledC.SameScale(e.delayScale) {
+				// A stable assignment reproduced the scales exactly: the
+				// cache stays live, and a rejected move may Revert it.
+				if ic.journal != nil {
+					ic.journal.staScaleStable = true
+				}
+			} else {
+				// The scales actually changed; rebuild lazily below.
+				ic.staScaledC.Invalidate()
+			}
+		}
 	}
-	ic.staScaled = timing.AnalyzeFromNetDelaysInto(ic.lay.Design, ic.netDelay, e.delayScale, ic.staScaled)
-	t.delay = ic.staScaled.Critical
+	t.delay = ic.scaledSTA(e).Critical
+	if e.staIncr {
+		ic.syncSTAStats(e)
+		if e.check {
+			e.crossCheckSTA()
+		}
+	}
 	t.power = e.scaledPower
 	t.volumes = float64(e.nVolumes)
 
@@ -362,6 +431,126 @@ func (e *evaluator) incrementalCost() float64 {
 		e.crossCheck(cost)
 	}
 	return cost
+}
+
+// refSTA returns the reference (unscaled) analysis over the cached net
+// delays: served by the incremental STA cache when enabled (rebuilt lazily
+// on first use or after an invalidation, otherwise already patched by
+// applyMove), else a full AnalyzeFromNetDelaysInto pass per call.
+func (ic *incrState) refSTA(e *evaluator) *timing.Analysis {
+	if !e.staIncr {
+		ic.staRef = timing.AnalyzeFromNetDelaysInto(ic.lay.Design, ic.netDelay, nil, ic.staRef)
+		return ic.staRef
+	}
+	if ic.staRefC == nil {
+		ic.staRefC = timing.NewSTACache(ic.lay.Design, ic.modNets)
+	}
+	if !ic.staRefC.Valid() {
+		ic.staRefC.Rebuild(ic.netDelay, nil)
+		if ic.journal != nil {
+			ic.journal.staRefRebuilt = true
+		}
+	}
+	return ic.staRefC.Analysis()
+}
+
+// scaledSTA is refSTA under the current voltage delay scales (the cost's
+// critical-delay term).
+func (ic *incrState) scaledSTA(e *evaluator) *timing.Analysis {
+	if !e.staIncr {
+		ic.staScaled = timing.AnalyzeFromNetDelaysInto(ic.lay.Design, ic.netDelay, e.delayScale, ic.staScaled)
+		return ic.staScaled
+	}
+	if ic.staScaledC == nil {
+		ic.staScaledC = timing.NewSTACache(ic.lay.Design, ic.modNets)
+	}
+	if !ic.staScaledC.Valid() {
+		ic.staScaledC.Rebuild(ic.netDelay, e.delayScale)
+		if ic.journal != nil {
+			ic.journal.staScaledRebuilt = true
+		}
+	}
+	return ic.staScaledC.Analysis()
+}
+
+// patchSTA brings the STA caches in line with the move's delay changes
+// (ic.staNets, collected by applyMove's net refresh). Churn gate: an
+// itemized patch recomputes every module incident to a changed net, and its
+// cost grows roughly linearly in the changed-net count while the full pass
+// it can save is flat — BenchmarkSTACachePatch puts the break-even near
+// nNets/11 on an ibm01-class design, so above nNets/16 (margin for the
+// rejected-move Revert) the move just drops the caches, falling back to the
+// lazy full rebuild at the next use, which is exactly the pre-cache cost.
+// An invalidated cache needs no rollback handling: a rejected move leaves
+// it invalid and the rebuild reads the reverted delays.
+func (ic *incrState) patchSTA(e *evaluator, j *moveJournal) {
+	budget := len(ic.netWL) / 16
+	if budget < 16 {
+		budget = 16
+	}
+	if len(ic.staNets) > budget {
+		ic.invalidateSTA()
+		return
+	}
+	if ic.staRefC != nil && ic.staRefC.Valid() {
+		ic.staRefC.Patch(ic.staNets, ic.netDelay)
+		j.staRefPatched = true
+	}
+	if ic.staScaledC != nil && ic.staScaledC.Valid() {
+		ic.staScaledC.Patch(ic.staNets, ic.netDelay)
+		j.staScaledPatched = true
+	}
+}
+
+// invalidateSTA drops both STA caches (wholesale geometry changes).
+func (ic *incrState) invalidateSTA() {
+	if ic.staRefC != nil {
+		ic.staRefC.Invalidate()
+	}
+	if ic.staScaledC != nil {
+		ic.staScaledC.Invalidate()
+	}
+}
+
+// syncSTAStats mirrors the caches' counters (plus any banked from dropped
+// cache generations) into the run stats.
+func (ic *incrState) syncSTAStats(e *evaluator) {
+	base := ic.staStatsBase
+	patches, rebuilds, mods, rescans := base.Patches, base.Rebuilds, base.ModulesRecomputed, base.CritRescans
+	for _, c := range []*timing.STACache{ic.staRefC, ic.staScaledC} {
+		if c == nil {
+			continue
+		}
+		st := c.Stats()
+		patches += st.Patches
+		rebuilds += st.Rebuilds
+		mods += st.ModulesRecomputed
+		rescans += st.CritRescans
+	}
+	e.stats.STAPatches = patches
+	e.stats.STARebuilds = rebuilds
+	e.stats.STAModulesRecomputed = mods
+	e.stats.STACritRescans = rescans
+}
+
+// crossCheckSTA pins both cached analyses against a from-scratch STA pass
+// over the same cached net delays: Critical, Arrive, Depart, ModuleDelay,
+// and the NetDelay mirror, each within 1e-9 relative. Debug aid behind
+// Config.CostCrossCheck, like crossCheck.
+func (e *evaluator) crossCheckSTA() {
+	ic := e.incr
+	check := func(c *timing.STACache, scale []float64, label string) {
+		if c == nil || !c.Valid() {
+			return
+		}
+		e.stats.STACrossChecks++
+		want := timing.AnalyzeFromNetDelays(ic.lay.Design, ic.netDelay, scale)
+		if err := timing.EquivalentAnalyses(c.Analysis(), want, 1e-9); err != nil {
+			panic(fmt.Sprintf("core: incremental %s STA diverged from full pass: %v", label, err))
+		}
+	}
+	check(ic.staRefC, nil, "reference")
+	check(ic.staScaledC, e.delayScale, "scaled")
 }
 
 // crossCheck re-evaluates the current floorplan through the full-recompute
@@ -402,6 +591,19 @@ func (ic *incrState) initGeometry(e *evaluator) {
 	for ni, n := range des.Nets {
 		ic.refreshNet(ni, n, e.cfg.TimingParams)
 	}
+	// The STA caches hold the previous modNets table; drop them so they are
+	// recreated against the fresh one (they rebuild lazily at first use),
+	// banking their counters so the run's stats keep accumulating.
+	for _, c := range []*timing.STACache{ic.staRefC, ic.staScaledC} {
+		if c != nil {
+			st := c.Stats()
+			ic.staStatsBase.Patches += st.Patches
+			ic.staStatsBase.Rebuilds += st.Rebuilds
+			ic.staStatsBase.ModulesRecomputed += st.ModulesRecomputed
+			ic.staStatsBase.CritRescans += st.CritRescans
+		}
+	}
+	ic.staRefC, ic.staScaledC = nil, nil
 
 	ic.maps = make([]*geom.Grid, ic.lay.Dies)
 	ic.resp = make([][]*geom.Grid, ic.lay.Dies)
@@ -457,6 +659,14 @@ func (ic *incrState) scaledPowers(e *evaluator) []float64 {
 // layout. The values are recomputed exactly as the full path would, so
 // unchanged nets keep bit-identical cached values.
 func (ic *incrState) refreshNet(ni int, n *netlist.Net, p *timing.Params) {
+	if n.Degree() < 2 {
+		// Degenerate nets (single-pin, empty) carry no wire: WL and delay
+		// are zero in both evaluators, matching the layout's HPWL (a
+		// one-point bounding box) and the guarded ElmoreDelay, and the STA
+		// pass skips them entirely.
+		ic.netLen[ni], ic.netCross[ni], ic.netWL[ni], ic.netDelay[ni] = 0, false, 0, 0
+		return
+	}
 	ln := ic.lay.NetHPWL(n, 0)
 	cross := false
 	die0 := -1
@@ -551,6 +761,7 @@ func (ic *incrState) applyMove(e *evaluator) {
 	}
 
 	// Patch the nets touching a changed module; mark their dies map-dirty.
+	ic.staNets = ic.staNets[:0]
 	ic.stamp++
 	recomputed := 0
 	for i := range ic.dieMark {
@@ -565,17 +776,27 @@ func (ic *incrState) applyMove(e *evaluator) {
 				continue
 			}
 			ic.netStamp[ni] = ic.stamp
+			old := ic.netDelay[ni]
 			j.nets = append(j.nets, ni)
 			j.netLen = append(j.netLen, ic.netLen[ni])
 			j.netCross = append(j.netCross, ic.netCross[ni])
 			j.netWL = append(j.netWL, ic.netWL[ni])
-			j.netDelay = append(j.netDelay, ic.netDelay[ni])
+			j.netDelay = append(j.netDelay, old)
 			ic.refreshNet(ni, ic.lay.Design.Nets[ni], e.cfg.TimingParams)
+			if e.staIncr && ic.netDelay[ni] != old {
+				ic.staNets = append(ic.staNets, ni)
+			}
 			recomputed++
 		}
 	}
 	e.stats.NetsRecomputed += recomputed
 	e.stats.NetsReused += len(ic.netWL) - recomputed
+
+	// Update the STA caches from the refreshed nets, or drop them when the
+	// move churned too much for a patch to pay (see patchSTA).
+	if e.staIncr {
+		ic.patchSTA(e, j)
+	}
 
 	ic.dirty = ic.dirty[:0]
 	for d, marked := range ic.dieMark {
@@ -617,17 +838,21 @@ func (ic *incrState) updateMaps(e *evaluator, powers []float64) {
 		return
 	}
 	j := ic.journal
-	outline := ic.lay.Outline()
 	for _, d := range ic.dirty {
 		j.mapDies = append(j.mapDies, d)
 		snap := ic.grabGrid(n, n)
 		copy(snap.Data, ic.maps[d].Data)
 		j.oldMaps = append(j.oldMaps, snap)
-	}
-	for _, ci := range ic.changed {
-		m := j.mods[ci]
-		ic.maps[j.dies[ci]].RasterizeDensity(outline, j.rects[ci], -powers[m])
-		ic.maps[ic.lay.DieOf[m]].RasterizeDensity(outline, ic.lay.Rects[m], powers[m])
+		// Re-rasterize the dirty die from scratch rather than subtracting
+		// the moved modules' old footprints and re-adding the new ones: the
+		// additive patch leaves a few ulps of round-off on every touched
+		// cell, and the nested-means classification behind the spatial
+		// entropy is DISCONTINUOUS in the cell values — one ulp can flip a
+		// bin across a class boundary and shift the entropy term by far
+		// more than the 1e-9 contract (observed on small designs). The
+		// rebuild reproduces the full path's floats bit for bit and its
+		// cost is dominated by the per-dirty-die blur response below.
+		ic.lay.PowerMapInto(d, powers, ic.maps[d])
 	}
 	for _, d := range ic.dirty {
 		j.oldResp = append(j.oldResp, ic.resp[d])

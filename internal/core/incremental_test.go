@@ -25,6 +25,7 @@ func makeEval(t *testing.T, mode Mode, incremental bool, seed int64) *evaluator 
 		ev.voltIncr = *cfg.IncrementalVoltage
 		ev.entropyIncr = *cfg.IncrementalEntropy
 		ev.adjIncr = *cfg.AdjacencyIndex
+		ev.staIncr = *cfg.IncrementalSTA
 	}
 	return ev
 }

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/floorplan"
+	"repro/internal/netlist"
+	"repro/internal/thermal"
+)
+
+// TestIncrementalSTACrossCheckOverJournaledRun is the acceptance contract
+// for the incremental STA engine: a journaled 1k-move perturb/cost/undo run
+// with the cross-check enabled must see both cached analyses (reference and
+// delay-scaled) match a full AnalyzeFromNetDelays pass on every evaluation
+// (crossCheckSTA panics otherwise), while the incremental cost stays within
+// the 1e-9 epsilon contract. Interleaved undos exercise the cache journal's
+// Revert path and the rebuilt-under-rejected-geometry Invalidate path.
+func TestIncrementalSTACrossCheckOverJournaledRun(t *testing.T) {
+	ev := makeEval(t, TSCAware, true, 51)
+	if !ev.staIncr {
+		t.Fatal("incremental STA not active under default config")
+	}
+	ev.check = true
+	rng := rand.New(rand.NewSource(12))
+	dec := rand.New(rand.NewSource(13))
+	ev.Cost()
+	for i := 0; i < 1000; i++ {
+		undo := ev.Perturb(rng)
+		ev.Cost()
+		if dec.Float64() < 0.5 {
+			undo()
+		}
+	}
+	st := ev.stats
+	if st.STACrossChecks == 0 {
+		t.Fatalf("STA cross-checks never ran: %+v", st)
+	}
+	if st.STAPatches == 0 || st.STAModulesRecomputed == 0 {
+		t.Fatalf("the STA caches were never patched: %+v", st)
+	}
+	if st.STARebuilds == 0 {
+		t.Fatalf("the scaled cache never rebuilt across voltage refreshes: %+v", st)
+	}
+	if st.MaxCrossCheckError > 1e-9 {
+		t.Fatalf("cost cross-check error too large: %g", st.MaxCrossCheckError)
+	}
+}
+
+// TestFlowIncrementalSTAMatchesFullSTA is the flow-level determinism
+// criterion for the STA engine alone: with every other incremental cache on
+// in both legs, toggling only the timing caches must produce the identical
+// best floorplan and metrics for a fixed seed.
+func TestFlowIncrementalSTAMatchesFullSTA(t *testing.T) {
+	des := bench.MustGenerate("n100")
+	run := func(staIncremental bool) *Result {
+		si := staIncremental
+		post := false
+		res, err := Run(des, Config{
+			Mode:           TSCAware,
+			GridN:          16,
+			SAIterations:   400,
+			Seed:           3,
+			PostProcess:    &post,
+			IncrementalSTA: &si,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast := run(true)
+	full := run(false)
+	for m := range fast.Layout.Rects {
+		if fast.Layout.Rects[m] != full.Layout.Rects[m] || fast.Layout.DieOf[m] != full.Layout.DieOf[m] {
+			t.Fatalf("module %d placed differently: %+v/die%d vs %+v/die%d", m,
+				fast.Layout.Rects[m], fast.Layout.DieOf[m], full.Layout.Rects[m], full.Layout.DieOf[m])
+		}
+	}
+	if fast.Metrics.PeakTempK != full.Metrics.PeakTempK || fast.Metrics.CriticalNS != full.Metrics.CriticalNS {
+		t.Fatalf("metrics differ: peak %v vs %v, critical %v vs %v",
+			fast.Metrics.PeakTempK, full.Metrics.PeakTempK, fast.Metrics.CriticalNS, full.Metrics.CriticalNS)
+	}
+	if fast.EvalStats.STAPatches == 0 {
+		t.Fatalf("incremental-STA run never patched a cache: %+v", fast.EvalStats)
+	}
+	if full.EvalStats.STAPatches != 0 || full.EvalStats.STARebuilds != 0 {
+		t.Fatalf("full-STA run unexpectedly used the caches: %+v", full.EvalStats)
+	}
+}
+
+// degenerateNetDesign is a hand-built stack whose netlist contains the
+// degenerate shapes Design.Validate rejects — a single-pin net and an empty
+// net — alongside real nets and a terminal net. The evaluators must agree
+// on it anyway: degenerate nets carry zero WL and zero delay in both paths.
+func degenerateNetDesign() *netlist.Design {
+	mod := func(name string, w, h, p, d float64) *netlist.Module {
+		return &netlist.Module{Name: name, Kind: netlist.Hard, W: w, H: h, Power: p, IntrinsicDelay: d}
+	}
+	return &netlist.Design{
+		Name: "degenerate", Dies: 2, OutlineW: 400, OutlineH: 400,
+		Modules: []*netlist.Module{
+			mod("a", 80, 60, 0.4, 0.2),
+			mod("b", 60, 90, 0.6, 0.3),
+			mod("c", 70, 70, 0.5, 0.25),
+			mod("d", 90, 50, 0.3, 0.15),
+			mod("e", 50, 50, 0.2, 0.1),
+			mod("f", 60, 60, 0.7, 0.35),
+		},
+		Nets: []*netlist.Net{
+			{Name: "ab", Modules: []int{0, 1}},
+			{Name: "bcd", Modules: []int{1, 2, 3}},
+			{Name: "ef", Modules: []int{4, 5}},
+			{Name: "af", Modules: []int{0, 5}},
+			{Name: "single", Modules: []int{2}},                    // degree 1: degenerate
+			{Name: "empty"},                                        // degree 0: degenerate
+			{Name: "term", Modules: []int{3}, Terminals: []int{0}}, // STA-skipped, real WL
+		},
+		Terminals: []*netlist.Terminal{{Name: "p0", X: 0, Y: 200}},
+	}
+}
+
+// TestDegenerateNetsAgreeAcrossEvaluators drives the full and incremental
+// evaluators over a design containing single-pin and empty nets: costs must
+// agree to 1e-9 throughout, the cached WL/delay of the degenerate nets must
+// be exactly zero, and no net may carry a negative delay (the un-guarded
+// Elmore model gave empty nets sinkPins = -1 and a negative delay).
+func TestDegenerateNetsAgreeAcrossEvaluators(t *testing.T) {
+	des := degenerateNetDesign()
+	build := func(incremental bool) *evaluator {
+		cfg := Config{Mode: TSCAware, GridN: 16, Seed: 1}
+		cfg.defaults()
+		fast := thermal.CalibrateFast(thermal.DefaultConfig(16, 16, des.OutlineW, des.OutlineH, des.Dies))
+		rng := rand.New(rand.NewSource(1))
+		ev := &evaluator{fp: floorplan.NewRandom(des, rng), cfg: &cfg, fast: fast}
+		if incremental {
+			ev.incr = newIncrState()
+			ev.voltIncr = *cfg.IncrementalVoltage
+			ev.entropyIncr = *cfg.IncrementalEntropy
+			ev.adjIncr = *cfg.AdjacencyIndex
+			ev.staIncr = *cfg.IncrementalSTA
+		}
+		return ev
+	}
+	full := build(false)
+	inc := build(true)
+	mrFull := rand.New(rand.NewSource(21))
+	mrInc := rand.New(rand.NewSource(21))
+	dec := rand.New(rand.NewSource(22))
+	if d := relDiff(inc.Cost(), full.Cost()); d > 1e-9 {
+		t.Fatalf("initial cost differs by %g", d)
+	}
+	for i := 0; i < 200; i++ {
+		undoFull := full.Perturb(mrFull)
+		undoInc := inc.Perturb(mrInc)
+		cf, ci := full.Cost(), inc.Cost()
+		if d := relDiff(ci, cf); d > 1e-9 {
+			t.Fatalf("cycle %d: incremental %v vs full %v (rel diff %g)", i, ci, cf, d)
+		}
+		if dec.Float64() < 0.5 {
+			undoFull()
+			undoInc()
+		}
+	}
+	ic := inc.incr
+	for ni, n := range des.Nets {
+		if n.Degree() < 2 {
+			if ic.netWL[ni] != 0 || ic.netDelay[ni] != 0 || ic.netLen[ni] != 0 {
+				t.Fatalf("degenerate net %q cached WL/delay not zero: wl=%v delay=%v",
+					n.Name, ic.netWL[ni], ic.netDelay[ni])
+			}
+		}
+		if ic.netDelay[ni] < 0 {
+			t.Fatalf("net %q has negative cached delay %v", n.Name, ic.netDelay[ni])
+		}
+	}
+}

@@ -531,7 +531,19 @@ func (l *Layout) CrossDieNets() []int {
 // PowerMap rasterizes the given per-module powers (Watts) onto an nx x ny
 // grid for die d; cell values are Watts (density = value / cellArea).
 func (l *Layout) PowerMap(d, nx, ny int, powers []float64) *geom.Grid {
-	g := geom.NewGrid(nx, ny)
+	return l.PowerMapInto(d, powers, geom.NewGrid(nx, ny))
+}
+
+// PowerMapInto is PowerMap rasterizing into g (cleared first), reusing its
+// storage instead of allocating. The rasterization order is PowerMap's, so
+// the cell values are bit-identical — the incremental evaluator rebuilds
+// dirty-die maps through this to stay exactly on the full path's floats
+// (an additive patch would accumulate round-off, which the discontinuous
+// nested-means entropy classification can amplify past any epsilon).
+func (l *Layout) PowerMapInto(d int, powers []float64, g *geom.Grid) *geom.Grid {
+	for i := range g.Data {
+		g.Data[i] = 0
+	}
 	out := l.Outline()
 	for mi, r := range l.Rects {
 		if l.DieOf[mi] != d {

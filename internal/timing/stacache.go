@@ -1,0 +1,362 @@
+package timing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/netlist"
+)
+
+// STACache incrementally maintains the single-hop STA of
+// AnalyzeFromNetDelaysInto under per-net delay patches. The annealing loop
+// runs one reference and one delay-scaled STA pass per move, each walking
+// every net of the design, even though a move changes only the handful of
+// nets with a pin on a moved module; the cache turns those passes into
+// O(affected-module-degree) patches.
+//
+// Exactness contract: after any sequence of Rebuild/Patch/Revert calls the
+// cached Analysis is value-identical to AnalyzeFromNetDelaysInto over the
+// same (netDelay, delayScale) inputs — not merely within an epsilon:
+//
+//   - Arrive/Depart recomputes evaluate the same float sums in a max, and
+//     IEEE max is order-independent, so a recomputed module reproduces the
+//     full pass bit for bit;
+//   - Depart uses the cached per-net max sink delay: rounding is monotone,
+//     so max_i fl(nd + delay_i) = fl(nd + max_i delay_i) exactly;
+//   - the global Critical is maintained as a running max over the cached
+//     per-module paths, with a flat rescan whenever a module that attained
+//     the maximum decreases (the recompute-on-decrease rule), reproducing
+//     the full pass's max over identical values.
+//
+// The cross-check path (core's -check-cost) still compares at the 1e-9
+// contract shared by every incremental cache, which this satisfies with
+// zero slack. The cache is not safe for concurrent use.
+type STACache struct {
+	des     *netlist.Design
+	modNets [][]int
+
+	// netDrv[ni] is the net's driver (the lowest-index module pin, the
+	// direction heuristic of the full pass), or -1 when the STA skips the
+	// net (fewer than two module pins). sinkMax[ni] is the largest
+	// ModuleDelay over the net's non-driver pins; it depends only on the
+	// delay scales, so it survives delay-churn rebuilds (sinkMaxValid) and
+	// is recomputed only when the scales actually change.
+	netDrv       []int
+	sinkMax      []float64
+	sinkMaxValid bool
+
+	// a is the live analysis view; its NetDelay is the cache's own mirror
+	// of the caller's delays, so the caller's slice is never aliased.
+	a     Analysis
+	path  []float64 // PathThrough(m) mirror backing the Critical max
+	scale []float64 // delay scales the analysis was built under (nil = 1.0)
+	valid bool
+
+	// Journal of the last Patch, for Revert. A new Patch supersedes it
+	// (the previous move is committed), mirroring the evaluator's
+	// move-journal lifecycle.
+	jNets   []int
+	jDelay  []float64
+	jMods   []int
+	jArrive []float64
+	jDepart []float64
+	jPath   []float64
+	jCrit   float64
+	jLive   bool
+
+	mark     []bool // scratch: affected-module dedup
+	affected []int
+
+	stats STACacheStats
+}
+
+// STACacheStats counts the cache's work since construction.
+type STACacheStats struct {
+	// Rebuilds counts full STA passes (first use, voltage-scale changes,
+	// invalidations); Patches the incremental updates.
+	Rebuilds int
+	Patches  int
+	// ModulesRecomputed totals the Arrive/Depart recomputes across all
+	// patches — the cache's actual work, vs nModules per full pass.
+	ModulesRecomputed int
+	// CritRescans counts patches that re-derived Critical with a flat
+	// per-module max scan because a module attaining it decreased.
+	CritRescans int
+}
+
+// NewSTACache builds an empty cache for the design. modNets[m] must list
+// the nets with a pin on module m (the evaluator shares its own table);
+// nil derives the table from the design. The cache starts invalid — call
+// Rebuild before Patch.
+func NewSTACache(des *netlist.Design, modNets [][]int) *STACache {
+	if modNets == nil {
+		modNets = make([][]int, len(des.Modules))
+		for ni, n := range des.Nets {
+			for _, m := range n.Modules {
+				modNets[m] = append(modNets[m], ni)
+			}
+		}
+	}
+	c := &STACache{
+		des:     des,
+		modNets: modNets,
+		netDrv:  make([]int, len(des.Nets)),
+		sinkMax: make([]float64, len(des.Nets)),
+		path:    make([]float64, len(des.Modules)),
+		mark:    make([]bool, len(des.Modules)),
+	}
+	for ni, n := range des.Nets {
+		c.netDrv[ni] = -1
+		if len(n.Modules) < 2 {
+			continue
+		}
+		drv := n.Modules[0]
+		for _, m := range n.Modules[1:] {
+			if m < drv {
+				drv = m
+			}
+		}
+		c.netDrv[ni] = drv
+	}
+	return c
+}
+
+// Valid reports whether the cache holds a consistent analysis.
+func (c *STACache) Valid() bool { return c.valid }
+
+// Invalidate drops the cached analysis (and any pending Revert); the next
+// use must Rebuild. Called when the inputs changed in a way the cache
+// cannot itemize (voltage-scale change, wholesale geometry rebuild).
+func (c *STACache) Invalidate() {
+	c.valid = false
+	c.jLive = false
+}
+
+// Stats returns the work counters.
+func (c *STACache) Stats() STACacheStats { return c.stats }
+
+// SameScale reports whether the cached analysis was built under delay
+// scales value-identical to delayScale — a voltage refresh that reproduces
+// the previous scales (the common stable-assignment case) then needs no
+// invalidation, since ModuleDelay and every derived stage are unchanged.
+func (c *STACache) SameScale(delayScale []float64) bool {
+	return c.valid && c.scaleEquals(delayScale)
+}
+
+// scaleEquals is SameScale without the validity requirement (the last
+// Rebuild's scales stay comparable across an Invalidate).
+func (c *STACache) scaleEquals(delayScale []float64) bool {
+	if delayScale == nil || c.scale == nil {
+		return delayScale == nil && c.scale == nil
+	}
+	if len(delayScale) != len(c.scale) {
+		return false
+	}
+	for i, s := range c.scale {
+		if delayScale[i] != s {
+			return false
+		}
+	}
+	return true
+}
+
+// Analysis returns the live cached analysis. The view is updated in place
+// by Patch/Rebuild/Revert — read it synchronously, do not retain it across
+// cache operations (snapshot with AnalyzeFromNetDelays for that).
+func (c *STACache) Analysis() *Analysis { return &c.a }
+
+// Rebuild runs a full STA pass over the inputs, resetting the cache.
+// delayScale follows the Analyze convention (nil = all 1.0). netDelay is
+// copied, not retained.
+func (c *STACache) Rebuild(netDelay, delayScale []float64) *Analysis {
+	c.stats.Rebuilds++
+	c.jLive = false
+	refreshSinkMax := !c.sinkMaxValid || !c.scaleEquals(delayScale)
+	if delayScale == nil {
+		c.scale = nil
+	} else {
+		c.scale = append(c.scale[:0], delayScale...)
+	}
+	AnalyzeFromNetDelaysInto(c.des, netDelay, delayScale, &c.a)
+	for m := range c.path {
+		c.path[m] = c.a.PathThrough(m)
+	}
+	if refreshSinkMax {
+		for ni, n := range c.des.Nets {
+			drv := c.netDrv[ni]
+			if drv < 0 {
+				continue
+			}
+			sm := math.Inf(-1)
+			for _, m := range n.Modules {
+				if m == drv {
+					continue
+				}
+				if d := c.a.ModuleDelay[m]; d > sm {
+					sm = d
+				}
+			}
+			c.sinkMax[ni] = sm
+		}
+		c.sinkMaxValid = true
+	}
+	c.valid = true
+	return &c.a
+}
+
+// Patch applies new delays for the listed nets (values read from netDelay,
+// which must be indexed like the design's nets), recomputing Arrive/Depart
+// for exactly the modules incident to a changed net and updating Critical.
+// The previous state is journaled; Revert undoes this one Patch. Duplicate
+// net indices are safe; nets whose delay is unchanged cost nothing beyond
+// the journal entry.
+func (c *STACache) Patch(nets []int, netDelay []float64) *Analysis {
+	if !c.valid {
+		panic("timing: STACache.Patch on an invalid cache (Rebuild first)")
+	}
+	c.stats.Patches++
+	c.jNets = c.jNets[:0]
+	c.jDelay = c.jDelay[:0]
+	c.jMods = c.jMods[:0]
+	c.jArrive = c.jArrive[:0]
+	c.jDepart = c.jDepart[:0]
+	c.jPath = c.jPath[:0]
+	c.jCrit = c.a.Critical
+	c.jLive = true
+
+	// Apply the delay patches to the mirror and collect the modules whose
+	// Arrive (sinks) or Depart (driver) reads a changed net. Nets whose
+	// delay is value-unchanged are skipped entirely — no journal entry, no
+	// module effect — so callers may hand over a generous superset (e.g.
+	// every net a move recomputed) at the cost of one compare each.
+	c.affected = c.affected[:0]
+	for _, ni := range nets {
+		old := c.a.NetDelay[ni]
+		nd := netDelay[ni]
+		if nd == old {
+			continue
+		}
+		c.jNets = append(c.jNets, ni)
+		c.jDelay = append(c.jDelay, old)
+		c.a.NetDelay[ni] = nd
+		drv := c.netDrv[ni]
+		if drv < 0 {
+			continue
+		}
+		if !c.mark[drv] {
+			c.mark[drv] = true
+			c.affected = append(c.affected, drv)
+		}
+		for _, m := range c.des.Nets[ni].Modules {
+			if m != drv && !c.mark[m] {
+				c.mark[m] = true
+				c.affected = append(c.affected, m)
+			}
+		}
+	}
+
+	// Recompute the affected modules' stages from their incident nets and
+	// track the Critical max: grow it directly on increase, rescan the flat
+	// path mirror when a module that attained it decreases.
+	rescan := false
+	maxNew := math.Inf(-1)
+	for _, m := range c.affected {
+		c.mark[m] = false
+		c.jMods = append(c.jMods, m)
+		c.jArrive = append(c.jArrive, c.a.Arrive[m])
+		c.jDepart = append(c.jDepart, c.a.Depart[m])
+		c.jPath = append(c.jPath, c.path[m])
+		arr, dep := 0.0, 0.0
+		for _, ni := range c.modNets[m] {
+			drv := c.netDrv[ni]
+			if drv < 0 {
+				continue
+			}
+			nd := c.a.NetDelay[ni]
+			if drv == m {
+				if out := nd + c.sinkMax[ni]; out > dep {
+					dep = out
+				}
+			} else if in := c.a.ModuleDelay[drv] + nd; in > arr {
+				arr = in
+			}
+		}
+		c.a.Arrive[m], c.a.Depart[m] = arr, dep
+		oldPath := c.path[m]
+		newPath := c.a.PathThrough(m)
+		c.path[m] = newPath
+		if newPath > maxNew {
+			maxNew = newPath
+		}
+		if oldPath == c.jCrit && newPath < oldPath {
+			rescan = true
+		}
+	}
+	c.stats.ModulesRecomputed += len(c.affected)
+	switch {
+	case rescan:
+		c.stats.CritRescans++
+		crit := 0.0 // the full pass's max also starts at zero
+		for _, p := range c.path {
+			if p > crit {
+				crit = p
+			}
+		}
+		c.a.Critical = crit
+	case maxNew > c.a.Critical:
+		c.a.Critical = maxNew
+	}
+	return &c.a
+}
+
+// Revert rolls back the last Patch exactly (no-op when there is nothing to
+// revert — after Rebuild, Invalidate, or a previous Revert).
+func (c *STACache) Revert() {
+	if !c.jLive {
+		return
+	}
+	c.jLive = false
+	// Walk backwards so duplicate journal entries (the same net patched
+	// twice in one call) restore the oldest value last.
+	for i := len(c.jNets) - 1; i >= 0; i-- {
+		c.a.NetDelay[c.jNets[i]] = c.jDelay[i]
+	}
+	for i, m := range c.jMods {
+		c.a.Arrive[m] = c.jArrive[i]
+		c.a.Depart[m] = c.jDepart[i]
+		c.path[m] = c.jPath[i]
+	}
+	c.a.Critical = c.jCrit
+}
+
+// EquivalentAnalyses compares two analyses field by field within a relative
+// epsilon and returns the first difference found (nil when equivalent).
+// The cross-check path pins the cached analysis against a full pass with it.
+func EquivalentAnalyses(got, want *Analysis, eps float64) error {
+	close := func(a, b float64) bool {
+		return math.Abs(a-b) <= eps*math.Max(1, math.Abs(b))
+	}
+	if !close(got.Critical, want.Critical) {
+		return fmt.Errorf("timing: Critical %v != %v", got.Critical, want.Critical)
+	}
+	type vec struct {
+		name      string
+		got, want []float64
+	}
+	for _, v := range []vec{
+		{"NetDelay", got.NetDelay, want.NetDelay},
+		{"Arrive", got.Arrive, want.Arrive},
+		{"Depart", got.Depart, want.Depart},
+		{"ModuleDelay", got.ModuleDelay, want.ModuleDelay},
+	} {
+		if len(v.got) != len(v.want) {
+			return fmt.Errorf("timing: %s sized %d != %d", v.name, len(v.got), len(v.want))
+		}
+		for i := range v.got {
+			if !close(v.got[i], v.want[i]) {
+				return fmt.Errorf("timing: %s[%d] %v != %v", v.name, i, v.got[i], v.want[i])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package timing
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSTACachePatch compares one incremental patch against the full
+// STA pass it replaces, at move-realistic churn levels (a handful of nets
+// up to the evaluator's n/8 fallback threshold). The annealing loop runs
+// the scaled pass once per move, so this ratio is the per-move saving
+// whenever a move's delay churn stays under the threshold; above it the
+// evaluator deliberately falls back to the full pass (see
+// core.patchSTA), which the full-pass leg here prices.
+func BenchmarkSTACachePatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const nMod, nNet = 900, 2500 // ibm01-class design
+	des := randomSTADesign(nMod, nNet, rng)
+	delays := randomDelays(len(des.Nets), rng)
+
+	b.Run("full-pass", func(b *testing.B) {
+		a := &Analysis{}
+		for i := 0; i < b.N; i++ {
+			AnalyzeFromNetDelaysInto(des, delays, nil, a)
+		}
+	})
+	for _, churn := range []int{1, 8, 32, nMod / 8} {
+		b.Run(fmt.Sprintf("patch-%dnets", churn), func(b *testing.B) {
+			c := NewSTACache(des, nil)
+			c.Rebuild(delays, nil)
+			nets := make([]int, churn)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range nets {
+					ni := rng.Intn(len(des.Nets))
+					nets[j] = ni
+					delays[ni] = rng.Float64() * 2
+				}
+				c.Patch(nets, delays)
+			}
+		})
+	}
+	b.Run("rebuild", func(b *testing.B) {
+		c := NewSTACache(des, nil)
+		for i := 0; i < b.N; i++ {
+			c.Rebuild(delays, nil)
+		}
+	})
+}

@@ -1,0 +1,219 @@
+package timing
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// randomSTADesign builds a synthetic multi-fanout design: nMod modules with
+// random intrinsic delays and nNet nets of random degree 2..5, plus a few
+// degenerate nets (single-pin, empty) that the STA must skip.
+func randomSTADesign(nMod, nNet int, rng *rand.Rand) *netlist.Design {
+	d := &netlist.Design{Name: "sta-rand", OutlineW: 1000, OutlineH: 1000, Dies: 2}
+	for m := 0; m < nMod; m++ {
+		d.Modules = append(d.Modules, &netlist.Module{
+			Name: fmt.Sprintf("m%d", m), Kind: netlist.Hard,
+			W: 10, H: 10, Power: 1,
+			IntrinsicDelay: 0.05 + rng.Float64(),
+		})
+	}
+	for ni := 0; ni < nNet; ni++ {
+		deg := 2 + rng.Intn(4)
+		seen := map[int]bool{}
+		var mods []int
+		for len(mods) < deg {
+			m := rng.Intn(nMod)
+			if !seen[m] {
+				seen[m] = true
+				mods = append(mods, m)
+			}
+		}
+		d.Nets = append(d.Nets, &netlist.Net{Name: fmt.Sprintf("n%d", ni), Modules: mods})
+	}
+	// Degenerate nets the STA (and, post-fix, the delay model) must ignore.
+	d.Nets = append(d.Nets,
+		&netlist.Net{Name: "single", Modules: []int{rng.Intn(nMod)}},
+		&netlist.Net{Name: "empty"})
+	return d
+}
+
+// randomDelays returns plausible per-net delays (ns scale).
+func randomDelays(n int, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64() * 2
+	}
+	return out
+}
+
+// mustEqualAnalyses pins got against a fresh full pass bit for bit — the
+// cache's contract is exactness, so the comparison epsilon is zero.
+func mustEqualAnalyses(t *testing.T, des *netlist.Design, c *STACache, netDelay, scale []float64, ctx string) {
+	t.Helper()
+	want := AnalyzeFromNetDelays(des, netDelay, scale)
+	if err := EquivalentAnalyses(c.Analysis(), want, 0); err != nil {
+		t.Fatalf("%s: cached analysis diverged from full pass: %v", ctx, err)
+	}
+}
+
+// TestSTACacheMatchesFullOverRandomPatches drives the cache through a long
+// mixed script — per-net patches, reverts, and scale-changing rebuilds —
+// comparing against a from-scratch AnalyzeFromNetDelays after every step
+// with zero tolerance.
+func TestSTACacheMatchesFullOverRandomPatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	des := randomSTADesign(40, 120, rng)
+	delays := randomDelays(len(des.Nets), rng)
+	scale := []float64(nil)
+
+	c := NewSTACache(des, nil)
+	c.Rebuild(delays, scale)
+	mustEqualAnalyses(t, des, c, delays, scale, "after rebuild")
+
+	for i := 0; i < 800; i++ {
+		switch op := rng.Float64(); {
+		case op < 0.70: // patch a random net subset (committing the previous move)
+			k := 1 + rng.Intn(6)
+			nets := make([]int, 0, k)
+			for j := 0; j < k; j++ {
+				ni := rng.Intn(len(des.Nets))
+				nets = append(nets, ni)
+				delays[ni] = rng.Float64() * 2
+			}
+			c.Patch(nets, delays)
+			mustEqualAnalyses(t, des, c, delays, scale, fmt.Sprintf("step %d patch", i))
+		case op < 0.90: // patch then revert (a rejected move)
+			before := AnalyzeFromNetDelays(des, delays, scale)
+			ni := rng.Intn(len(des.Nets))
+			old := delays[ni]
+			delays[ni] = rng.Float64() * 2
+			c.Patch([]int{ni}, delays)
+			delays[ni] = old
+			c.Revert()
+			if err := EquivalentAnalyses(c.Analysis(), before, 0); err != nil {
+				t.Fatalf("step %d revert: %v", i, err)
+			}
+		default: // voltage-refresh shape: new scales, full rebuild
+			scale = make([]float64, len(des.Modules))
+			for m := range scale {
+				scale[m] = 0.8 + rng.Float64()*0.4
+			}
+			c.Rebuild(delays, scale)
+			mustEqualAnalyses(t, des, c, delays, scale, fmt.Sprintf("step %d rebuild", i))
+		}
+	}
+	st := c.Stats()
+	if st.Patches == 0 || st.Rebuilds == 0 || st.ModulesRecomputed == 0 {
+		t.Fatalf("script did not exercise the cache: %+v", st)
+	}
+	if st.CritRescans == 0 {
+		t.Fatalf("no patch ever decreased the critical module: %+v (enlarge the script)", st)
+	}
+}
+
+// TestSTACacheCritRescanOnDecrease forces the recompute-on-decrease rule
+// directly: shrink the delay of the net that sets the critical path and
+// check Critical falls to the exact runner-up.
+func TestSTACacheCritRescanOnDecrease(t *testing.T) {
+	des := &netlist.Design{
+		Name: "crit", OutlineW: 100, OutlineH: 100, Dies: 1,
+		Modules: []*netlist.Module{
+			{Name: "a", Kind: netlist.Hard, W: 10, H: 10, Power: 1, IntrinsicDelay: 0.1},
+			{Name: "b", Kind: netlist.Hard, W: 10, H: 10, Power: 1, IntrinsicDelay: 0.1},
+			{Name: "c", Kind: netlist.Hard, W: 10, H: 10, Power: 1, IntrinsicDelay: 0.1},
+			{Name: "d", Kind: netlist.Hard, W: 10, H: 10, Power: 1, IntrinsicDelay: 0.1},
+		},
+		Nets: []*netlist.Net{
+			{Name: "ab", Modules: []int{0, 1}}, // the critical hop (delay 5)
+			{Name: "cd", Modules: []int{2, 3}}, // the runner-up (delay 1)
+		},
+	}
+	delays := []float64{5, 1}
+	c := NewSTACache(des, nil)
+	c.Rebuild(delays, nil)
+	want := AnalyzeFromNetDelays(des, delays, nil)
+	if c.Analysis().Critical != want.Critical {
+		t.Fatalf("rebuild critical %v want %v", c.Analysis().Critical, want.Critical)
+	}
+
+	delays[0] = 0.1 // the critical hop collapses; cd must take over
+	c.Patch([]int{0}, delays)
+	want = AnalyzeFromNetDelays(des, delays, nil)
+	if c.Analysis().Critical != want.Critical {
+		t.Fatalf("patched critical %v want %v", c.Analysis().Critical, want.Critical)
+	}
+	if c.Stats().CritRescans != 1 {
+		t.Fatalf("expected exactly one critical rescan, got %+v", c.Stats())
+	}
+}
+
+// TestSTACacheDegenerateNetsNoEffect pins the skip rule: patching a
+// single-pin or empty net's delay never moves any module stage.
+func TestSTACacheDegenerateNetsNoEffect(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	des := randomSTADesign(10, 20, rng)
+	delays := randomDelays(len(des.Nets), rng)
+	c := NewSTACache(des, nil)
+	c.Rebuild(delays, nil)
+	before := AnalyzeFromNetDelays(des, delays, nil)
+
+	// The last two nets are the degenerate ones (see randomSTADesign).
+	single, empty := len(des.Nets)-2, len(des.Nets)-1
+	delays[single], delays[empty] = 99, 77
+	c.Patch([]int{single, empty}, delays)
+	a := c.Analysis()
+	if a.Critical != before.Critical {
+		t.Fatalf("degenerate patch moved Critical: %v -> %v", before.Critical, a.Critical)
+	}
+	for m := range a.Arrive {
+		if a.Arrive[m] != before.Arrive[m] || a.Depart[m] != before.Depart[m] {
+			t.Fatalf("degenerate patch moved module %d stages", m)
+		}
+	}
+	// The mirror itself must still track the caller's values.
+	if a.NetDelay[single] != 99 || a.NetDelay[empty] != 77 {
+		t.Fatal("degenerate delays not mirrored")
+	}
+}
+
+// TestSTACachePatchOnInvalidPanics pins the misuse guard.
+func TestSTACachePatchOnInvalidPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	des := randomSTADesign(5, 8, rng)
+	c := NewSTACache(des, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Patch on an invalid cache must panic")
+		}
+	}()
+	c.Patch([]int{0}, randomDelays(len(des.Nets), rng))
+}
+
+// TestSTACacheRevertIsIdempotent: Revert after Rebuild, Invalidate, or a
+// previous Revert is a no-op, and duplicate nets in one Patch restore the
+// oldest value.
+func TestSTACacheRevertIsIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	des := randomSTADesign(8, 15, rng)
+	delays := randomDelays(len(des.Nets), rng)
+	c := NewSTACache(des, nil)
+	c.Rebuild(delays, nil)
+	c.Revert() // nothing journaled: must not corrupt state
+	mustEqualAnalyses(t, des, c, delays, nil, "revert after rebuild")
+
+	before := AnalyzeFromNetDelays(des, delays, nil)
+	old := delays[0]
+	delays[0] = 3.21
+	// Duplicate entry: the journal must restore the pre-patch value, not
+	// the intermediate one.
+	c.Patch([]int{0, 0}, delays)
+	delays[0] = old
+	c.Revert()
+	c.Revert() // second revert: no-op
+	if err := EquivalentAnalyses(c.Analysis(), before, 0); err != nil {
+		t.Fatalf("after duplicate-net revert: %v", err)
+	}
+}

@@ -71,8 +71,9 @@ func Analyze(l *floorplan.Layout, delayScale []float64, p Params) *Analysis {
 	for ni := range l.Design.Nets {
 		netDelay[ni] = NetElmore(l, ni, p)
 	}
-	// The Into form aliases the just-built slice instead of copying it.
-	return AnalyzeFromNetDelaysInto(l.Design, netDelay, delayScale, &Analysis{})
+	// Hand the just-built slice in as the copy destination too, so the
+	// Into form's defensive copy degenerates to a no-op self-copy.
+	return AnalyzeFromNetDelaysInto(l.Design, netDelay, delayScale, &Analysis{NetDelay: netDelay})
 }
 
 // AnalyzeFromNetDelays runs the STA pass over precomputed per-net Elmore
@@ -89,16 +90,21 @@ func AnalyzeFromNetDelays(des *netlist.Design, netDelay []float64, delayScale []
 // previous Analysis (nil allocates a fresh one) — the annealing loop runs
 // one to two STA passes per move, so the buffers are worth recycling. The
 // returned Analysis is `into` when provided; its previous contents are
-// overwritten, and its NetDelay field ALIASES the caller's netDelay slice
-// (unlike AnalyzeFromNetDelays, which copies).
+// overwritten. netDelay is copied into the Analysis, never aliased: the
+// incremental cost evaluator patches its cached per-net delays in place on
+// every annealing move, and an Analysis retained past the call (a report, a
+// snapshot in a Result) must not drift with those patches.
 func AnalyzeFromNetDelaysInto(des *netlist.Design, netDelay []float64, delayScale []float64, into *Analysis) *Analysis {
 	nMod := len(des.Modules)
 	a := into
 	if a == nil {
-		a = &Analysis{NetDelay: append([]float64(nil), netDelay...)}
-	} else {
-		a.NetDelay = netDelay
+		a = &Analysis{}
 	}
+	if cap(a.NetDelay) < len(netDelay) {
+		a.NetDelay = make([]float64, len(netDelay))
+	}
+	a.NetDelay = a.NetDelay[:len(netDelay)]
+	copy(a.NetDelay, netDelay)
 	a.Arrive = resizeZeroed(a.Arrive, nMod)
 	a.Depart = resizeZeroed(a.Depart, nMod)
 	a.ModuleDelay = resizeZeroed(a.ModuleDelay, nMod)
@@ -192,7 +198,16 @@ func NetElmore(l *floorplan.Layout, ni int, p Params) float64 {
 // (added here for cross-die nets), whether the net spans dies, and its pin
 // degree. NetElmore is exactly ElmoreDelay over the layout-derived summary;
 // the incremental evaluator calls this directly on its cached geometry.
+//
+// Degenerate nets (fewer than two pins) have no wire to charge and are
+// defined to have zero delay — without the guard a zero-pin net's
+// sinkPins = -1 would yield a negative capacitance and a negative delay,
+// which the STA pass skips but aggregate proxies (TotalNetDelay,
+// MaxNetDelay) and the evaluators' cached WL/delay terms would absorb.
 func ElmoreDelay(length float64, crossDie bool, degree int, p Params) float64 {
+	if degree < 2 {
+		return 0
+	}
 	tsvs := 0
 	if crossDie {
 		tsvs = 1

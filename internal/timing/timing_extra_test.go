@@ -103,6 +103,55 @@ func TestTerminalOnlyNetsIgnoredBySTA(t *testing.T) {
 	}
 }
 
+// TestAnalysisDoesNotAliasNetDelay is the regression test for the aliasing
+// bug: AnalyzeFromNetDelaysInto used to store the caller's netDelay slice
+// directly, so an Analysis retained past the call (a report, a Result
+// snapshot) silently drifted when the incremental evaluator patched its
+// cached delays on the next move. All entry points must copy.
+func TestAnalysisDoesNotAliasNetDelay(t *testing.T) {
+	des := chainDesign()
+	src := []float64{0.5, 0.7}
+	for _, tc := range []struct {
+		name string
+		a    *Analysis
+	}{
+		{"AnalyzeFromNetDelays", AnalyzeFromNetDelays(des, src, nil)},
+		{"AnalyzeFromNetDelaysInto-nil", AnalyzeFromNetDelaysInto(des, src, nil, nil)},
+		{"AnalyzeFromNetDelaysInto-reused", AnalyzeFromNetDelaysInto(des, src, nil, &Analysis{})},
+	} {
+		critBefore := tc.a.Critical
+		nd := append([]float64(nil), tc.a.NetDelay...)
+		src[0], src[1] = 99, 99 // the next move patches the cached delays
+		for i := range nd {
+			if tc.a.NetDelay[i] != nd[i] {
+				t.Fatalf("%s: NetDelay[%d] drifted to %v after the source slice was mutated",
+					tc.name, i, tc.a.NetDelay[i])
+			}
+		}
+		if tc.a.Critical != critBefore {
+			t.Fatalf("%s: Critical drifted", tc.name)
+		}
+		src[0], src[1] = 0.5, 0.7
+	}
+}
+
+// TestElmoreDelayDegenerateNetsZero pins the degenerate-net definition: a
+// net with fewer than two pins has no wire and zero delay. Without the
+// guard a zero-pin net yielded a NEGATIVE delay (sinkPins = -1).
+func TestElmoreDelayDegenerateNetsZero(t *testing.T) {
+	p := DefaultParams()
+	for degree := 0; degree < 2; degree++ {
+		for _, cross := range []bool{false, true} {
+			if d := ElmoreDelay(500, cross, degree, p); d != 0 {
+				t.Fatalf("degree-%d net (cross=%v) has delay %v, want 0", degree, cross, d)
+			}
+		}
+	}
+	if d := ElmoreDelay(500, false, 2, p); d <= 0 {
+		t.Fatalf("real net delay %v must stay positive", d)
+	}
+}
+
 func TestWorstPathsZeroK(t *testing.T) {
 	d := &netlist.Design{
 		Name: "z",

@@ -29,6 +29,7 @@ type annealLegConfig struct {
 	incrVolt    bool // PR 3: cached voltage engine
 	incrEntropy bool // PR 4: incremental spatial entropy
 	adjIndex    bool // PR 4: churn-tolerant adjacency index
+	incrSTA     bool // PR 5: incremental static-timing caches
 }
 
 // annealLoopRun executes the SA search (no post-processing) — the flow's
@@ -37,7 +38,7 @@ func annealLoopRun(b *testing.B, name string, leg annealLegConfig, iters int) *c
 	b.Helper()
 	des := bench.MustGenerate(name)
 	post := false
-	inc, iv, ie, ai := leg.incremental, leg.incrVolt, leg.incrEntropy, leg.adjIndex
+	inc, iv, ie, ai, is := leg.incremental, leg.incrVolt, leg.incrEntropy, leg.adjIndex, leg.incrSTA
 	res, err := core.Run(des, core.Config{
 		Mode:               core.TSCAware,
 		SAIterations:       iters,
@@ -47,6 +48,7 @@ func annealLoopRun(b *testing.B, name string, leg annealLegConfig, iters int) *c
 		IncrementalVoltage: &iv,
 		IncrementalEntropy: &ie,
 		AdjacencyIndex:     &ai,
+		IncrementalSTA:     &is,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -54,16 +56,17 @@ func annealLoopRun(b *testing.B, name string, leg annealLegConfig, iters int) *c
 	return res
 }
 
-// BenchmarkAnnealLoop times the annealing loop in five legs — the
+// BenchmarkAnnealLoop times the annealing loop in six legs — the
 // full-recompute reference, the incremental geometric/thermal caches with
 // from-scratch voltage refreshes (the PR 2 configuration), the cached
 // voltage engine on top (PR 3), the incremental entropy cache on top of
-// that, and the full stack including the adjacency index (the PR 4
-// default) — on a small (n100) and a large (ibm01) benchmark. All legs must
-// find the identical best floorplan (asserted by
-// TestFlowIncrementalMatchesFull, TestFlowIncrementalVoltageMatchesFull-
-// Voltage, and TestFlowIncrementalEntropyAdjacencyMatchesFull in
-// internal/core).
+// that, the PR 4 stack including the adjacency index, and the full stack
+// with the incremental STA caches (the PR 5 default) — on a small (n100)
+// and a large (ibm01) benchmark. All legs must find the identical best
+// floorplan (asserted by TestFlowIncrementalMatchesFull,
+// TestFlowIncrementalVoltageMatchesFullVoltage,
+// TestFlowIncrementalEntropyAdjacencyMatchesFull, and
+// TestFlowIncrementalSTAMatchesFullSTA in internal/core).
 func BenchmarkAnnealLoop(b *testing.B) {
 	iters := benchIters()
 	for _, name := range []string{"n100", "ibm01"} {
@@ -73,6 +76,7 @@ func BenchmarkAnnealLoop(b *testing.B) {
 			{label: "incremental-volt", incremental: true, incrVolt: true},
 			{label: "incremental-entropy", incremental: true, incrVolt: true, incrEntropy: true},
 			{label: "incremental-all", incremental: true, incrVolt: true, incrEntropy: true, adjIndex: true},
+			{label: "incremental-sta", incremental: true, incrVolt: true, incrEntropy: true, adjIndex: true, incrSTA: true},
 		} {
 			b.Run(fmt.Sprintf("%s/%s", name, leg.label), func(b *testing.B) {
 				var st core.EvalStats
@@ -94,6 +98,12 @@ func BenchmarkAnnealLoop(b *testing.B) {
 				if st.AdjIncrementalUpdates > 0 {
 					b.ReportMetric(float64(st.AdjRowsChanged)/
 						float64(st.AdjIncrementalUpdates), "adj_rows_changed/update")
+				}
+				if st.STAPatches > 0 {
+					b.ReportMetric(float64(st.STAModulesRecomputed)/
+						float64(st.STAPatches), "sta_mods_recomputed/patch")
+					b.ReportMetric(float64(st.STACritRescans)/
+						float64(st.STAPatches), "sta_crit_rescan_frac")
 				}
 			})
 		}

@@ -86,6 +86,19 @@ type RunStats struct {
 	AdjIncrementalUpdates int `json:"adj_incremental_updates"`
 	AdjRowsChanged        int `json:"adj_rows_changed"`
 	AdjCrossChecks        int `json:"adj_cross_checks"`
+	// STAPatches counts per-move incremental patches applied across the two
+	// timing caches (reference + delay-scaled), STARebuilds their full STA
+	// passes (first use, voltage-scale changes, invalidations),
+	// STAModulesRecomputed the per-patch Arrive/Depart module recomputes
+	// (the caches' actual work, vs one full design walk per pass),
+	// STACritRescans the patches that re-derived the critical max with a
+	// flat scan, and STACrossChecks the cached-vs-full analysis comparisons
+	// (0 unless WithCostCrossCheck).
+	STAPatches           int `json:"sta_patches"`
+	STARebuilds          int `json:"sta_rebuilds"`
+	STAModulesRecomputed int `json:"sta_modules_recomputed"`
+	STACritRescans       int `json:"sta_crit_rescans"`
+	STACrossChecks       int `json:"sta_cross_checks"`
 	// DiesRepacked/DiesReused count per-die skyline packings run vs skipped;
 	// NetsRecomputed/NetsReused the per-net wirelength+delay refreshes;
 	// ResponsesComputed/ResponsesReused the per-source thermal blurs.

@@ -383,16 +383,35 @@ func WithAdjacencyIndex(enabled bool) Option {
 	}
 }
 
+// WithIncrementalSTA selects the incremental static-timing engine. Enabled
+// by default: the annealing loop holds two timing caches — the reference
+// analysis feeding voltage refreshes and the delay-scaled one feeding the
+// critical-delay cost term — that patch Arrive/Depart and the global
+// critical delay from each move's refreshed nets instead of re-running two
+// full-design STA passes per evaluation, with journaled undo for rejected
+// moves. Disabling it restores the per-evaluation full passes (the
+// debugging reference the caches are pinned against). Both paths agree
+// within 1e-9 on every analysis field (see WithCostCrossCheck) and produce
+// the identical best floorplan for a fixed seed; only effective together
+// with WithIncrementalCost, since the patches come from its move journal.
+func WithIncrementalSTA(enabled bool) Option {
+	return func(s *settings) {
+		v := enabled
+		s.cfg.IncrementalSTA = &v
+	}
+}
+
 // WithCostCrossCheck re-evaluates every annealing move through the full
 // recompute path and panics if the incremental cost drifts beyond 1e-9
 // (relative); with WithIncrementalVoltage it additionally pins every
 // incremental voltage refresh against a from-scratch assignment (identical
 // volumes, total power within 1e-9), with WithAdjacencyIndex the cached
-// adjacency rows against a fresh sweep (exact equality), and with
+// adjacency rows against a fresh sweep (exact equality), with
 // WithIncrementalEntropy every patched per-die entropy against a
-// from-scratch recompute (1e-9 relative). Debug aid: it forfeits the entire
-// incremental speedup. It has no effect when WithIncrementalCost(false) is
-// set.
+// from-scratch recompute (1e-9 relative), and with WithIncrementalSTA both
+// cached timing analyses against a full STA pass on every evaluation (1e-9
+// on every field). Debug aid: it forfeits the entire incremental speedup.
+// It has no effect when WithIncrementalCost(false) is set.
 func WithCostCrossCheck(enabled bool) Option {
 	return func(s *settings) { s.cfg.CostCrossCheck = enabled }
 }

@@ -59,6 +59,9 @@ func TestIncrementalTogglesAgree(t *testing.T) {
 	if inc.Stats.EntropyPatched == 0 || inc.Stats.AdjRowsChanged == 0 {
 		t.Fatalf("default run never engaged the entropy/adjacency caches: %+v", inc.Stats)
 	}
+	if inc.Stats.STAPatches == 0 || inc.Stats.STAModulesRecomputed == 0 {
+		t.Fatalf("default run never engaged the STA caches: %+v", inc.Stats)
+	}
 	if !inc.Stats.SolverConverged || inc.Stats.SolverSweeps == 0 {
 		t.Fatalf("solver stats not recorded: %+v", inc.Stats)
 	}
@@ -79,6 +82,9 @@ func TestIncrementalTogglesAgree(t *testing.T) {
 	if checked.Stats.EntropyCrossChecks == 0 || checked.Stats.AdjCrossChecks == 0 {
 		t.Fatalf("entropy/adjacency caches were not cross-checked: %+v", checked.Stats)
 	}
+	if checked.Stats.STACrossChecks == 0 {
+		t.Fatalf("STA caches were not cross-checked: %+v", checked.Stats)
+	}
 	if canon(checked) != canon(inc) {
 		t.Fatal("cross-checked run disagrees")
 	}
@@ -95,5 +101,12 @@ func TestIncrementalTogglesAgree(t *testing.T) {
 	}
 	if canon(fullEntAdj) != canon(inc) {
 		t.Fatal("incremental and full entropy/adjacency refreshes disagree")
+	}
+	fullSTA := run(WithIncrementalSTA(false))
+	if fullSTA.Stats.STAPatches != 0 || fullSTA.Stats.STARebuilds != 0 {
+		t.Fatalf("disabled STA caches engaged: %+v", fullSTA.Stats)
+	}
+	if canon(fullSTA) != canon(inc) {
+		t.Fatal("incremental and full STA passes disagree")
 	}
 }

@@ -118,6 +118,11 @@ func newResult(res *core.Result, mode Mode, seed int64) *Result {
 			AdjIncrementalUpdates:    res.EvalStats.AdjIncrementalUpdates,
 			AdjRowsChanged:           res.EvalStats.AdjRowsChanged,
 			AdjCrossChecks:           res.EvalStats.AdjCrossChecks,
+			STAPatches:               res.EvalStats.STAPatches,
+			STARebuilds:              res.EvalStats.STARebuilds,
+			STAModulesRecomputed:     res.EvalStats.STAModulesRecomputed,
+			STACritRescans:           res.EvalStats.STACritRescans,
+			STACrossChecks:           res.EvalStats.STACrossChecks,
 			DiesRepacked:             res.EvalStats.DiesRepacked,
 			DiesReused:               res.EvalStats.DiesReused,
 			NetsRecomputed:           res.EvalStats.NetsRecomputed,

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"runtime"
 	"testing"
+	"time"
 )
 
 // sweepGrid is the acceptance grid: 2 seeds × 2 modes × 2 resolutions = 8
@@ -131,6 +133,117 @@ func TestSweepCancellation(t *testing.T) {
 	}
 	if cancelled == 0 {
 		t.Fatal("cancellation arrived after every cell finished; enlarge the grid")
+	}
+}
+
+// TestStreamMixedCancellationExactCellCount is the accounting contract
+// under cancellation: with one worker and a many-cell grid cancelled after
+// the first result, the channel must yield exactly len(grid.Cells()) sends
+// — every cell exactly once — mixing completed cells, the in-flight cell
+// (which observes ctx between annealing moves), and the never-started tail
+// the dispatcher drains out itself.
+func TestStreamMixedCancellationExactCellCount(t *testing.T) {
+	grid := Grid{
+		Design:  MustBenchmark("n100"),
+		Seeds:   []int64{1, 2, 3, 4, 5, 6, 7, 8},
+		Modes:   []Mode{PowerAware},
+		Options: []Option{WithGridN(8), WithIterations(400), WithActivitySamples(2)},
+	}
+	cells := grid.Cells()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch, err := Stream(ctx, grid, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]int, len(cells))
+	var completed, cancelled int
+	for sr := range ch {
+		if seen[sr.Cell.Index] > 0 {
+			t.Fatalf("cell %d reported twice", sr.Cell.Index)
+		}
+		seen[sr.Cell.Index]++
+		switch {
+		case sr.Err == nil:
+			completed++
+			cancel() // first completion in hand: stop the rest
+		case errors.Is(sr.Err, context.Canceled):
+			cancelled++
+		default:
+			t.Fatalf("cell %d: unexpected error %v", sr.Cell.Index, sr.Err)
+		}
+	}
+	if len(seen) != len(cells) {
+		t.Fatalf("observed %d distinct cells, want %d", len(seen), len(cells))
+	}
+	if completed == 0 || cancelled == 0 {
+		t.Fatalf("wanted a mix of completed and cancelled cells, got %d/%d", completed, cancelled)
+	}
+}
+
+// TestStreamPreCancelledContext: a context cancelled before Stream is even
+// called must still account for every cell (all with ctx.Err), never hang,
+// and never run a flow to completion.
+func TestStreamPreCancelledContext(t *testing.T) {
+	grid := sweepGrid(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ch, err := Stream(ctx, grid, WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen int
+	for sr := range ch {
+		seen++
+		if sr.Err == nil {
+			t.Fatalf("cell %d completed under a pre-cancelled context", sr.Cell.Index)
+		}
+		if !errors.Is(sr.Err, context.Canceled) {
+			t.Fatalf("cell %d: unexpected error %v", sr.Cell.Index, sr.Err)
+		}
+	}
+	if seen != len(grid.Cells()) {
+		t.Fatalf("drained %d results, want %d", seen, len(grid.Cells()))
+	}
+}
+
+// TestStreamAbandonedConsumerNoGoroutineLeak: a consumer that walks away
+// after one result (without draining the channel) must not strand the
+// worker pool — the result channel is buffered to the cell count, so the
+// workers finish their in-flight cells, the dispatcher drains the tail, and
+// every goroutine exits.
+func TestStreamAbandonedConsumerNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	grid := Grid{
+		Design:  MustBenchmark("n100"),
+		Seeds:   []int64{1, 2, 3, 4, 5, 6},
+		Modes:   []Mode{PowerAware},
+		Options: []Option{WithGridN(8), WithIterations(60), WithActivitySamples(2)},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ch, err := Stream(ctx, grid, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ch     // one result in hand...
+	cancel() // ...then the consumer gives up and abandons the channel.
+
+	// The pool must wind down on its own despite the unread results. Poll
+	// with a deadline: goroutine counts include runtime/test housekeeping,
+	// so allow a small slack above the baseline.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC() // nudge finalizer/timer goroutines to settle
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines did not settle: %d before, %d now\n%s",
+				before, runtime.NumGoroutine(), buf)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 
