@@ -15,6 +15,7 @@ import (
 	"os/signal"
 
 	"repro/internal/attack"
+	"repro/internal/version"
 	"repro/tscfp"
 )
 
@@ -22,15 +23,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("attacksim: ")
 	var (
-		benchName = flag.String("bench", "n100", "benchmark name")
-		iters     = flag.Int("iters", 2000, "SA iterations per floorplanning run")
-		grid      = flag.Int("grid", 32, "thermal grid resolution")
-		sensorsN  = flag.Int("sensors", 8, "thermal sensors per axis per die")
-		noise     = flag.Float64("noise", 0.05, "sensor noise sigma in K")
-		targets   = flag.Int("targets", 8, "number of attacked modules (hottest first)")
-		seed      = flag.Int64("seed", 1, "random seed")
+		benchName   = flag.String("bench", "n100", "benchmark name")
+		iters       = flag.Int("iters", 2000, "SA iterations per floorplanning run")
+		grid        = flag.Int("grid", 32, "thermal grid resolution")
+		sensorsN    = flag.Int("sensors", 8, "thermal sensors per axis per die")
+		noise       = flag.Float64("noise", 0.05, "sensor noise sigma in K")
+		targets     = flag.Int("targets", 8, "number of attacked modules (hottest first)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("attacksim " + version.String())
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

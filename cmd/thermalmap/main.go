@@ -22,19 +22,25 @@ import (
 	"repro/internal/leakage"
 	"repro/internal/thermal"
 	"repro/internal/tsv"
+	"repro/internal/version"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("thermalmap: ")
 	var (
-		grid  = flag.Int("grid", 32, "grid resolution per axis")
-		sizeU = flag.Float64("die", 4000, "die edge length in um")
-		power = flag.Float64("power", 4.0, "power budget per die in W")
-		seed  = flag.Int64("seed", 1, "random seed")
-		dump  = flag.String("dump", "", "directory to write CSV maps into (optional)")
+		grid        = flag.Int("grid", 32, "grid resolution per axis")
+		sizeU       = flag.Float64("die", 4000, "die edge length in um")
+		power       = flag.Float64("power", 4.0, "power budget per die in W")
+		seed        = flag.Int64("seed", 1, "random seed")
+		dump        = flag.String("dump", "", "directory to write CSV maps into (optional)")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("thermalmap " + version.String())
+		return
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	n := *grid

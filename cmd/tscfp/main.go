@@ -18,6 +18,7 @@ import (
 	"os"
 	"os/signal"
 
+	"repro/internal/version"
 	"repro/tscfp"
 )
 
@@ -45,8 +46,13 @@ func main() {
 		fullAdj     = flag.Bool("full-adj", false, "re-sweep module adjacency at every voltage refresh instead of the incremental adjacency index (debug/reference)")
 		fullSTA     = flag.Bool("full-sta", false, "run two full-design STA passes per annealing evaluation instead of the incremental timing caches (debug/reference)")
 		checkCost   = flag.Bool("check-cost", false, "cross-check every incremental cost (and voltage refresh, entropy patch, adjacency update, STA patch) against a full recompute (debug; very slow)")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("tscfp " + version.String())
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

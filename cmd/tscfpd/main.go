@@ -1,0 +1,141 @@
+// Command tscfpd is the floorplanning-as-a-service daemon: it accepts JSON
+// job submissions over HTTP (single runs and sweep grids), executes them on
+// a bounded worker pool over the tscfp flow, streams per-stage progress as
+// server-sent events, and dedupes identical submissions through a
+// content-addressed result store. See internal/server for the REST surface
+// and docs/ARCHITECTURE.md for queue/store/drain semantics.
+//
+// Configuration is flags-first with env fallbacks (flag wins), so the same
+// binary runs standalone or as a k8s Deployment:
+//
+//	-addr          TSCFPD_ADDR, or ":"+PORT     listen address (default :8080)
+//	-workers       TSCFPD_WORKERS               job worker pool size (default GOMAXPROCS)
+//	-queue         TSCFPD_QUEUE                 admission queue bound (default 256)
+//	-max-body      TSCFPD_MAX_BODY              submission body cap in bytes (default 8 MiB)
+//	-drain-timeout TSCFPD_DRAIN_TIMEOUT         grace for in-flight jobs on SIGTERM (default 30s)
+//
+// SIGTERM/SIGINT trigger graceful drain: /readyz flips to 503, admission
+// stops, in-flight jobs get the drain timeout to finish before their
+// contexts are cancelled, then the listener shuts down.
+//
+// Quick start:
+//
+//	tscfpd &
+//	curl -s localhost:8080/v1/jobs -d '{"benchmark":"n100","options":{"seed":1,"iterations":500}}'
+//	curl -N localhost:8080/v1/jobs/j-000001/events     # follow SSE progress
+//	curl -s localhost:8080/v1/jobs/j-000001/result     # fetch the Result JSON
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/version"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tscfpd: ")
+
+	var (
+		addr         = flag.String("addr", envStr("TSCFPD_ADDR", envPort(":8080")), "listen address")
+		workers      = flag.Int("workers", envInt("TSCFPD_WORKERS", 0), "job worker pool size (0 = one per CPU)")
+		queueCap     = flag.Int("queue", envInt("TSCFPD_QUEUE", 256), "admission queue bound (queued jobs)")
+		maxBody      = flag.Int64("max-body", envInt64("TSCFPD_MAX_BODY", 8<<20), "max submission body size in bytes")
+		drainTimeout = flag.Duration("drain-timeout", envDuration("TSCFPD_DRAIN_TIMEOUT", 30*time.Second), "grace period for in-flight jobs on shutdown")
+		showVersion  = flag.Bool("version", false, "print the build version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Println("tscfpd " + version.String())
+		return
+	}
+
+	srv := server.New(server.Config{
+		Workers:      *workers,
+		QueueCap:     *queueCap,
+		MaxBodyBytes: *maxBody,
+	})
+	srv.Start()
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		log.Printf("shutdown signal: draining (grace %s)", *drainTimeout)
+		srv.Drain(*drainTimeout)
+		// The workers are gone; give straggling readers a moment to finish
+		// streaming before the listener closes.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("listening on %s (workers=%d queue=%d)", *addr, *workers, *queueCap)
+	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-drained
+	log.Print("drained, exiting")
+}
+
+// envStr reads a string env fallback for a flag default.
+func envStr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+// envPort maps the conventional PORT variable (knative/k8s serving) to a
+// listen address.
+func envPort(def string) string {
+	if p := os.Getenv("PORT"); p != "" {
+		return ":" + p
+	}
+	return def
+}
+
+func envInt(key string, def int) int {
+	if v := os.Getenv(key); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+		log.Fatalf("%s: not an integer: %q", key, v)
+	}
+	return def
+}
+
+func envInt64(key string, def int64) int64 {
+	if v := os.Getenv(key); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+		log.Fatalf("%s: not an integer: %q", key, v)
+	}
+	return def
+}
+
+func envDuration(key string, def time.Duration) time.Duration {
+	if v := os.Getenv(key); v != "" {
+		if d, err := time.ParseDuration(v); err == nil {
+			return d
+		}
+		log.Fatalf("%s: not a duration: %q", key, v)
+	}
+	return def
+}

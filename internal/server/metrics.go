@@ -1,0 +1,153 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/tscfp"
+)
+
+// registry is the daemon's metrics surface behind GET /metrics, rendered in
+// the Prometheus text exposition format (counters and gauges only, no
+// client library dependency). Stage latency is observed from the flow's own
+// progress events: a stage's duration is the wall time between its first
+// event and the first event of the next stage.
+type registry struct {
+	mu sync.Mutex
+
+	submitted int // admitted jobs, including deduped ones
+	deduped   int // submissions served from the store without running
+	rejected  int // submissions refused (queue full or draining)
+	running   int
+	completed int
+	failed    int
+	cancelled int
+
+	stageCount   map[string]int
+	stageSeconds map[string]float64
+
+	queueDepth func() int
+	storeSize  func() int
+}
+
+func newRegistry(queueDepth, storeSize func() int) *registry {
+	return &registry{
+		stageCount:   make(map[string]int),
+		stageSeconds: make(map[string]float64),
+		queueDepth:   queueDepth,
+		storeSize:    storeSize,
+	}
+}
+
+func (m *registry) jobSubmitted(deduped bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.submitted++
+	if deduped {
+		m.deduped++
+	}
+}
+
+func (m *registry) jobRejected() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rejected++
+}
+
+func (m *registry) jobStarted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.running++
+}
+
+// jobCancelledQueued counts a job cancelled before any worker claimed it
+// (it never contributed to the running gauge).
+func (m *registry) jobCancelledQueued() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cancelled++
+}
+
+func (m *registry) jobFinished(state State) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.running--
+	switch state {
+	case StateDone:
+		m.completed++
+	case StateFailed:
+		m.failed++
+	case StateCancelled:
+		m.cancelled++
+	}
+}
+
+func (m *registry) observeStage(stage string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stageCount[stage]++
+	m.stageSeconds[stage] += d.Seconds()
+}
+
+// handler renders the registry.
+func (m *registry) handler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fmt.Fprintf(w, "tscfpd_queue_depth %d\n", m.queueDepth())
+	fmt.Fprintf(w, "tscfpd_store_artifacts %d\n", m.storeSize())
+	fmt.Fprintf(w, "tscfpd_jobs_running %d\n", m.running)
+	fmt.Fprintf(w, "tscfpd_jobs_submitted_total %d\n", m.submitted)
+	fmt.Fprintf(w, "tscfpd_jobs_deduped_total %d\n", m.deduped)
+	fmt.Fprintf(w, "tscfpd_jobs_rejected_total %d\n", m.rejected)
+	fmt.Fprintf(w, "tscfpd_jobs_completed_total %d\n", m.completed)
+	fmt.Fprintf(w, "tscfpd_jobs_failed_total %d\n", m.failed)
+	fmt.Fprintf(w, "tscfpd_jobs_cancelled_total %d\n", m.cancelled)
+	stages := make([]string, 0, len(m.stageCount))
+	for s := range m.stageCount {
+		stages = append(stages, s)
+	}
+	sort.Strings(stages)
+	for _, s := range stages {
+		fmt.Fprintf(w, "tscfpd_stage_latency_seconds_sum{stage=%q} %g\n", s, m.stageSeconds[s])
+		fmt.Fprintf(w, "tscfpd_stage_latency_seconds_count{stage=%q} %d\n", s, m.stageCount[s])
+	}
+}
+
+// stageTimer turns a flow's progress events into per-stage latency
+// observations. It runs on the flow goroutine (WithProgress is synchronous)
+// so it needs no locking of its own.
+type stageTimer struct {
+	reg     *registry
+	stage   tscfp.Stage
+	started time.Time
+}
+
+func newStageTimer(reg *registry) *stageTimer {
+	return &stageTimer{reg: reg}
+}
+
+// observe notes a progress event; entering a new stage closes the previous
+// one's latency window.
+func (t *stageTimer) observe(stage tscfp.Stage) {
+	now := time.Now()
+	if stage == t.stage {
+		return
+	}
+	if t.stage != "" {
+		t.reg.observeStage(string(t.stage), now.Sub(t.started))
+	}
+	t.stage = stage
+	t.started = now
+}
+
+// finish closes the last open stage window (on success, StageDone's).
+func (t *stageTimer) finish() {
+	if t.stage != "" {
+		t.reg.observeStage(string(t.stage), time.Since(t.started))
+		t.stage = ""
+	}
+}

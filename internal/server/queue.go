@@ -1,0 +1,116 @@
+package server
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+)
+
+var (
+	// errQueueFull rejects a submission when the bounded backlog is at
+	// capacity; the API maps it to 503 + Retry-After.
+	errQueueFull = errors.New("queue full")
+	// errQueueClosed rejects submissions once draining has begun.
+	errQueueClosed = errors.New("queue closed")
+)
+
+// queue is the bounded, priority-ordered admission queue feeding the worker
+// pool. Higher priority pops first; equal priorities pop FIFO by admission
+// sequence. Closing stops admission but keeps pop draining the backlog, so
+// a graceful drain runs every already-admitted job (under its own context,
+// which the drain deadline may cancel).
+type queue struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	items    jobHeap
+	capacity int
+	closed   bool
+}
+
+func newQueue(capacity int) *queue {
+	q := &queue{capacity: capacity}
+	q.notEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// push admits a job, or reports errQueueFull/errQueueClosed.
+func (q *queue) push(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errQueueClosed
+	}
+	if len(q.items) >= q.capacity {
+		return errQueueFull
+	}
+	heap.Push(&q.items, j)
+	q.notEmpty.Signal()
+	return nil
+}
+
+// pop blocks until a job is available or the queue is closed and drained;
+// the second return is false only in the latter case (worker shutdown).
+func (q *queue) pop() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	return heap.Pop(&q.items).(*job), true
+}
+
+// remove takes a still-queued job out of the backlog (cancellation before a
+// worker claims it). It returns nil if the job is not queued — typically
+// because a worker popped it first, in which case the caller falls back to
+// context cancellation.
+func (q *queue) remove(id string) *job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, j := range q.items {
+		if j.id == id {
+			return heap.Remove(&q.items, i).(*job)
+		}
+	}
+	return nil
+}
+
+// close stops admission and wakes blocked pops; the backlog keeps draining.
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.notEmpty.Broadcast()
+	q.mu.Unlock()
+}
+
+// depth reports the queued-not-yet-claimed job count.
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// jobHeap orders by priority descending, then admission sequence ascending.
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(a, b int) bool {
+	if h[a].priority != h[b].priority {
+		return h[a].priority > h[b].priority
+	}
+	return h[a].seq < h[b].seq
+}
+func (h jobHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+
+func (h *jobHeap) Push(x any) { *h = append(*h, x.(*job)) }
+
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}

@@ -1,0 +1,627 @@
+// Package server implements tscfpd, the floorplanning-as-a-service daemon:
+// an HTTP front end over the public tscfp flow that accepts JSON job
+// submissions (single runs and sweep grids), executes them on a bounded
+// worker pool with a priority queue, streams per-stage progress as
+// server-sent events, and dedupes identical submissions through a
+// content-addressed result store.
+//
+// The serving shape is a stateless single binary: configuration arrives via
+// flags/env, health and readiness live at /healthz and /readyz, metrics at
+// /metrics, and the only state (the job table and result store) is
+// in-memory and rebuildable, so the same binary runs standalone or as a
+// replicated k8s Deployment. SIGTERM maps to Drain: readiness flips,
+// admission stops, and in-flight work finishes or is cancelled within a
+// deadline.
+//
+// REST surface:
+//
+//	POST   /v1/jobs             submit a job (201; 200 on a dedupe hit)
+//	GET    /v1/jobs             list jobs (?state= filters)
+//	GET    /v1/jobs/{id}        job status
+//	DELETE /v1/jobs/{id}        cancel (idempotent)
+//	GET    /v1/jobs/{id}/events SSE progress stream
+//	GET    /v1/jobs/{id}/result the job's result payload
+//	GET    /v1/artifacts/{id}   a stored artifact by content address
+//	GET    /healthz, /readyz, /metrics
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/tscfp"
+)
+
+// Config tunes a Server. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the job worker-pool size; <1 selects GOMAXPROCS.
+	Workers int
+	// QueueCap bounds the admission backlog (queued, not running, jobs);
+	// <1 selects 256. A full queue rejects submissions with 503.
+	QueueCap int
+	// MaxBodyBytes caps a submission body; <1 selects 8 MiB.
+	MaxBodyBytes int64
+}
+
+// Server is one tscfpd instance. Create with New, mount Handler, call
+// Start, and Drain before exit.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	queue   *queue
+	store   *store
+	metrics *registry
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []*job // submission order, for listing
+	seq   uint64
+
+	draining atomic.Bool
+	wg       sync.WaitGroup
+	started  atomic.Bool
+}
+
+// New builds a Server from cfg. Workers do not run until Start.
+func New(cfg Config) *Server {
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueCap < 1 {
+		cfg.QueueCap = 256
+	}
+	if cfg.MaxBodyBytes < 1 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		queue:     newQueue(cfg.QueueCap),
+		store:     newStore(),
+		jobs:      make(map[string]*job),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+	}
+	s.metrics = newRegistry(s.queue.depth, s.store.size)
+
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/artifacts/{id}", s.handleArtifact)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.HandleFunc("GET /metrics", s.metrics.handler)
+	return s
+}
+
+// Handler returns the HTTP surface, ready to mount on any http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start launches the worker pool. It is idempotent.
+func (s *Server) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	s.wg.Add(s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
+		go s.worker()
+	}
+}
+
+// Drain is the SIGTERM half of graceful shutdown: readiness flips to 503,
+// admission stops (POST /v1/jobs and the queue both reject), and admitted
+// work gets timeout to finish. Whatever is still in flight at the deadline
+// is cancelled through its per-job context (tscfp.Flow.Run honors it down
+// to annealing moves and solver sweeps). Drain returns once every worker
+// has exited; the caller still owns http.Server.Shutdown for the listener.
+func (s *Server) Drain(timeout time.Duration) {
+	s.draining.Store(true)
+	s.queue.close()
+	if !s.started.Load() {
+		s.cancelAll()
+		return
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-timer.C:
+		s.cancelAll()
+		<-done
+	}
+	s.cancelAll()
+}
+
+// Draining reports whether Drain has begun (mirrors /readyz).
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		s.run(j)
+	}
+}
+
+// ---- submission ----
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.metrics.jobRejected()
+		w.Header().Set("Retry-After", "10")
+		httpError(w, http.StatusServiceUnavailable, "draining: not accepting jobs")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "decode job: %v", err)
+		return
+	}
+	design, err := req.normalize()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid job: %v", err)
+		return
+	}
+	key, err := contentKey(design, req.Options, req.Sweep)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "hash job: %v", err)
+		return
+	}
+
+	j := &job{
+		priority:  req.Priority,
+		req:       req,
+		design:    design,
+		key:       key,
+		events:    newBroadcaster(),
+		submitted: time.Now(),
+		state:     StateQueued,
+	}
+	s.mu.Lock()
+	s.seq++
+	j.seq = s.seq
+	j.id = fmt.Sprintf("j-%06d", s.seq)
+	s.mu.Unlock()
+
+	// Dedupe at admission: an identical prior submission's artifact serves
+	// this one without a run. The job record still exists — with lineage —
+	// so the lifecycle API and SSE stream behave uniformly. (Best-effort:
+	// two identical jobs racing through admission both run; the store's
+	// first-writer-wins put keeps lineage consistent.)
+	if art := s.store.hit(key); art != nil {
+		now := time.Now()
+		j.state = StateDone
+		j.started, j.finished = now, now
+		j.artifact = art.ID
+		j.deduped = true
+		j.lineage = art.JobID
+		j.events.publish("state", "state", j.status())
+		j.events.close()
+		s.register(j)
+		s.metrics.jobSubmitted(true)
+		writeJSON(w, http.StatusOK, j.status())
+		return
+	}
+
+	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+	s.register(j)
+	if err := s.queue.push(j); err != nil {
+		s.unregister(j)
+		s.metrics.jobRejected()
+		w.Header().Set("Retry-After", "10")
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.metrics.jobSubmitted(false)
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusCreated, j.status())
+}
+
+func (s *Server) register(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+}
+
+func (s *Server) unregister(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, j.id)
+	for i, o := range s.order {
+		if o == j {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// ---- execution ----
+
+func (s *Server) run(j *job) {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	s.metrics.jobStarted()
+	j.events.publish("state", "state", j.status())
+
+	var artifact string
+	var err error
+	if j.req.Sweep != nil {
+		artifact, err = s.runSweep(j)
+	} else {
+		artifact, err = s.runSingle(j)
+	}
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.artifact = artifact
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCancelled
+		j.errMsg = err.Error()
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+	state := j.state
+	j.mu.Unlock()
+	j.cancel()
+	s.metrics.jobFinished(state)
+	j.events.publish("state", "state", j.status())
+	j.events.close()
+}
+
+// runSingle executes one flow and stores its Result under the job's
+// content address.
+func (s *Server) runSingle(j *job) (string, error) {
+	opts, err := j.req.Options.Options()
+	if err != nil {
+		return "", err
+	}
+	timer := newStageTimer(s.metrics)
+	opts = append(opts, tscfp.WithProgress(func(ev tscfp.Event) {
+		timer.observe(ev.Stage)
+		j.events.publish("progress", "progress:"+string(ev.Stage), ev)
+	}))
+	res, err := tscfp.Run(j.ctx, j.design, opts...)
+	if err != nil {
+		return "", err
+	}
+	timer.finish()
+	data, err := res.JSON()
+	if err != nil {
+		return "", err
+	}
+	s.store.put(j.key, data, j.id)
+	return j.key, nil
+}
+
+// sweepCell is one cell's entry in a sweep manifest and its SSE "cell"
+// event payload.
+type sweepCell struct {
+	Cell     tscfp.Cell `json:"cell"`
+	Artifact string     `json:"artifact_id,omitempty"`
+	Deduped  bool       `json:"deduped,omitempty"`
+	Error    string     `json:"error,omitempty"`
+}
+
+// sweepManifest is the artifact a sweep job produces: per-cell artifact
+// IDs (each cell's Result is stored individually under the same address an
+// equivalent single-run submission would hash to) plus error text for
+// failed cells.
+type sweepManifest struct {
+	Cells []sweepCell `json:"cells"`
+}
+
+// runSweep executes a sweep grid via tscfp.Stream, publishing one SSE
+// "cell" event per completed cell. If every cell is already in the store
+// the whole job dedupes without running; otherwise the full grid runs
+// (store puts are idempotent, so previously-stored cells keep their
+// original lineage and are flagged Deduped in the manifest).
+func (s *Server) runSweep(j *job) (string, error) {
+	spec := j.req.Sweep
+	grid := tscfp.Grid{
+		Design:     j.design,
+		Seeds:      spec.Seeds,
+		GridNs:     spec.GridNs,
+		Iterations: spec.Iterations,
+	}
+	for _, m := range spec.Modes {
+		grid.Modes = append(grid.Modes, tscfp.Mode(m))
+	}
+	baseOpts, err := j.req.Options.Options()
+	if err != nil {
+		return "", err
+	}
+	grid.Options = baseOpts
+	cells := grid.Cells()
+
+	keys := make([]string, len(cells))
+	outs := make([]sweepCell, len(cells))
+	allCached := true
+	for i, c := range cells {
+		keys[i], err = contentKey(j.design, cellOptions(j.req.Options, c), nil)
+		if err != nil {
+			return "", err
+		}
+		outs[i].Cell = c
+		if a := s.store.lookup(keys[i]); a != nil {
+			outs[i].Artifact = a.ID
+			outs[i].Deduped = true
+		} else {
+			allCached = false
+		}
+	}
+
+	if !allCached {
+		workers := spec.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		ch, err := tscfp.Stream(j.ctx, grid, tscfp.WithWorkers(workers))
+		if err != nil {
+			return "", err
+		}
+		for sr := range ch {
+			i := sr.Cell.Index
+			if sr.Err != nil {
+				outs[i].Artifact, outs[i].Deduped = "", false
+				outs[i].Error = sr.Err.Error()
+			} else {
+				data, jerr := sr.Result.JSON()
+				if jerr != nil {
+					outs[i].Error = jerr.Error()
+				} else {
+					a, existed := s.store.put(keys[i], data, j.id)
+					outs[i].Artifact = a.ID
+					outs[i].Deduped = existed
+					outs[i].Error = ""
+				}
+			}
+			j.events.publish("cell", fmt.Sprintf("cell:%d", i), outs[i])
+		}
+		if err := j.ctx.Err(); err != nil {
+			return "", err
+		}
+	} else {
+		for i := range outs {
+			j.events.publish("cell", fmt.Sprintf("cell:%d", i), outs[i])
+		}
+	}
+
+	for _, o := range outs {
+		if o.Error != "" {
+			return "", fmt.Errorf("cell %d (seed %d, %s): %s",
+				o.Cell.Index, o.Cell.Seed, o.Cell.Mode, o.Error)
+		}
+	}
+	data, err := json.Marshal(sweepManifest{Cells: outs})
+	if err != nil {
+		return "", err
+	}
+	s.store.put(j.key, data, j.id)
+	return j.key, nil
+}
+
+// cellOptions overlays one sweep cell onto the job's base options, mirroring
+// tscfp.Cell.Options so the cell's content address equals the address of an
+// equivalent single-run submission.
+func cellOptions(base tscfp.RunOptions, c tscfp.Cell) tscfp.RunOptions {
+	o := base
+	o.Seed = c.Seed
+	o.Mode = string(c.Mode)
+	if c.GridN > 0 {
+		o.GridN = c.GridN
+	}
+	if c.Iterations > 0 {
+		o.Iterations = c.Iterations
+	}
+	return o
+}
+
+// ---- lifecycle handlers ----
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	filter := State(r.URL.Query().Get("state"))
+	s.mu.Lock()
+	jobs := append([]*job(nil), s.order...)
+	s.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].seq < jobs[b].seq })
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		st := j.status()
+		if filter != "" && st.State != filter {
+			continue
+		}
+		out = append(out, st)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobStatus `json:"jobs"`
+	}{out})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleCancel cancels a job. Idempotent: cancelling a terminal job
+// reports its (unchanged) state. A still-queued job is removed from the
+// queue and finalized directly; a running one is cancelled through its
+// context and finalized by its worker.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.mu.Lock()
+	terminal := j.state.Terminal()
+	j.mu.Unlock()
+	if !terminal {
+		if removed := s.queue.remove(j.id); removed != nil {
+			now := time.Now()
+			j.mu.Lock()
+			j.state = StateCancelled
+			j.finished = now
+			j.errMsg = "cancelled before start"
+			j.mu.Unlock()
+			s.metrics.jobCancelledQueued()
+			j.events.publish("state", "state", j.status())
+			j.events.close()
+		}
+		j.cancel()
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	write := func(ev sseEvent) {
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
+		fl.Flush()
+	}
+	hist, live := j.events.subscribe()
+	for _, ev := range hist {
+		write(ev)
+	}
+	if live == nil {
+		// Stream already closed; the replay's state event was terminal.
+		return
+	}
+	defer j.events.unsubscribe(live)
+	for {
+		select {
+		case ev, open := <-live:
+			if !open {
+				// Stream closed while we were attached. Progress delivery is
+				// lossy under backpressure, so re-emit the terminal state
+				// explicitly rather than trusting the last delivered event.
+				data, _ := json.Marshal(j.status())
+				write(sseEvent{name: "state", data: data})
+				return
+			}
+			write(ev)
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	st := j.status()
+	if st.State != StateDone {
+		httpError(w, http.StatusConflict, "job is %s, not done", st.State)
+		return
+	}
+	data, ok := s.store.get(st.ArtifactID)
+	if !ok {
+		httpError(w, http.StatusNotFound, "artifact %s not in store", st.ArtifactID)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	data, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such artifact")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// ---- helpers ----
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{fmt.Sprintf(format, args...)})
+}

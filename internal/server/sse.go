@@ -1,0 +1,114 @@
+package server
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// sseEvent is one server-sent event: an event name and a JSON payload.
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// broadcaster fans one job's event stream out to any number of SSE
+// subscribers.
+//
+// Live subscribers receive events as they happen; delivery of progress
+// events is lossy under backpressure (a subscriber whose buffer is full
+// skips updates rather than stalling the flow), which is safe because
+// every event carries absolute Done/Total state, not deltas, and the
+// handler always delivers the terminal job state after the stream closes.
+//
+// Late subscribers get a replay that preserves stage order without storing
+// the full history: per coalescing key (one per flow stage, one per sweep
+// cell, one for job state) only the latest event is kept, in first-seen
+// order. An anneal with thousands of chain updates replays as one event.
+type broadcaster struct {
+	mu     sync.Mutex
+	subs   map[chan sseEvent]struct{}
+	replay []sseEvent
+	index  map[string]int // coalescing key -> position in replay
+	closed bool
+}
+
+func newBroadcaster() *broadcaster {
+	return &broadcaster{
+		subs:  make(map[chan sseEvent]struct{}),
+		index: make(map[string]int),
+	}
+}
+
+// publish marshals v and delivers it to live subscribers, coalescing into
+// the replay under key. Publishing after close is a no-op.
+func (b *broadcaster) publish(name, key string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	ev := sseEvent{name: name, data: data}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	if i, ok := b.index[key]; ok {
+		b.replay[i] = ev
+	} else {
+		b.index[key] = len(b.replay)
+		b.replay = append(b.replay, ev)
+	}
+	for ch := range b.subs {
+		select {
+		case ch <- ev:
+		default: // lossy under backpressure; see type comment
+		}
+	}
+}
+
+// subscribe returns the coalesced replay and, while the stream is open, a
+// live channel (nil once closed). The caller must unsubscribe the channel.
+// The job-state event is reordered to the end of the replay: clients that
+// disconnect at a terminal state must see the progress replay first.
+func (b *broadcaster) subscribe() ([]sseEvent, chan sseEvent) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	hist := make([]sseEvent, 0, len(b.replay))
+	var states []sseEvent
+	for _, ev := range b.replay {
+		if ev.name == "state" {
+			states = append(states, ev)
+		} else {
+			hist = append(hist, ev)
+		}
+	}
+	hist = append(hist, states...)
+	if b.closed {
+		return hist, nil
+	}
+	ch := make(chan sseEvent, 64)
+	b.subs[ch] = struct{}{}
+	return hist, ch
+}
+
+// unsubscribe detaches a live channel. Safe after close.
+func (b *broadcaster) unsubscribe(ch chan sseEvent) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.subs, ch)
+}
+
+// close ends the stream: live channels are closed (the handler then emits
+// the terminal state itself) and future subscribers get replay only.
+func (b *broadcaster) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for ch := range b.subs {
+		close(ch)
+		delete(b.subs, ch)
+	}
+}

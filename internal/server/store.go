@@ -1,0 +1,93 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// Artifact is one stored result: the JSON payload of a completed run (or a
+// sweep manifest) addressed by the content hash of the submission that
+// produced it, with lineage back to that job.
+type Artifact struct {
+	ID      string    `json:"id"`
+	JobID   string    `json:"job_id"`
+	Created time.Time `json:"created"`
+	Bytes   int       `json:"bytes"`
+	// Hits counts submissions served from this artifact without running
+	// (dedupe), not including the producing run itself.
+	Hits int `json:"hits"`
+
+	data []byte
+}
+
+// store is the in-memory content-addressed result registry. It generalizes
+// the bench_results/ on-disk convention: every completed Result is an
+// addressable artifact whose ID is the hash of its inputs, so identical
+// submissions collapse onto one computation and every artifact traces back
+// to the job that produced it. The store is rebuildable state — losing it
+// costs recomputation, never correctness — which keeps the daemon safe to
+// run as a stateless replicated Deployment.
+type store struct {
+	mu        sync.Mutex
+	artifacts map[string]*Artifact
+}
+
+func newStore() *store {
+	return &store{artifacts: make(map[string]*Artifact)}
+}
+
+// put records data under id. The first writer wins: a concurrent duplicate
+// run keeps the original producer's lineage, and the second return reports
+// whether the artifact already existed.
+func (s *store) put(id string, data []byte, jobID string) (*Artifact, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if a, ok := s.artifacts[id]; ok {
+		return a, true
+	}
+	a := &Artifact{
+		ID:      id,
+		JobID:   jobID,
+		Created: time.Now(),
+		Bytes:   len(data),
+		data:    data,
+	}
+	s.artifacts[id] = a
+	return a, false
+}
+
+// hit returns the artifact for id and counts a dedupe hit, or nil.
+func (s *store) hit(id string) *Artifact {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := s.artifacts[id]
+	if a != nil {
+		a.Hits++
+	}
+	return a
+}
+
+// lookup returns the artifact for id without counting a hit, or nil.
+func (s *store) lookup(id string) *Artifact {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.artifacts[id]
+}
+
+// get returns the payload for id.
+func (s *store) get(id string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.artifacts[id]
+	if !ok {
+		return nil, false
+	}
+	return a.data, true
+}
+
+// size reports the artifact count.
+func (s *store) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.artifacts)
+}

@@ -1,0 +1,42 @@
+// Package version renders the build's version string for the -version flag
+// shared by this repo's commands (tscfp, tscfpd, attacksim, thermalmap).
+package version
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// String reports "<module version> <vcs revision> (<go toolchain>)" from the
+// build info the Go toolchain stamps into every binary. A tagged module
+// build yields the tag; a plain checkout build yields "(devel)" plus the
+// short VCS revision (suffixed "+dirty" for a modified tree) when the
+// toolchain recorded one.
+func String() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown (build info unavailable)"
+	}
+	v := bi.Main.Version
+	if v == "" {
+		v = "(devel)"
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev != "" {
+		return fmt.Sprintf("%s %s%s (%s)", v, rev, dirty, bi.GoVersion)
+	}
+	return fmt.Sprintf("%s (%s)", v, bi.GoVersion)
+}

@@ -52,6 +52,28 @@ awk 'BEGIN { print "benchmark,iterations,ns_per_op,extra" }
        printf "%s,%s,%s,%s\n", $1, $2, $3, extra
      }' "$RAW" > "$CSV"
 
+# Emit the top-level BENCH_<rev>.json perf snapshot (the ROADMAP's perf
+# trajectory gate): run metadata plus the parsed benchmark rows in one
+# machine-readable document, named after the git revision so successive
+# PRs leave a comparable trail. Also archived alongside the raw output.
+REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+SNAPSHOT="${SNAPSHOT:-BENCH_${REV}.json}"
+{
+  printf '{\n  "meta": '
+  sed 's/^/  /' "$META" | sed '1s/^  //'
+  printf ',\n  "benchmarks": [\n'
+  awk -F, 'NR > 1 {
+    if (seen++) printf ",\n"
+    gsub(/"/, "\\\"", $1); gsub(/"/, "\\\"", $4)
+    printf "    {\"benchmark\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"extra\": \"%s\"}", $1, $2, $3, $4
+  } END { if (seen) printf "\n" }' "$CSV"
+  printf '  ]\n}\n'
+} > "$SNAPSHOT"
+if [ "$(realpath "$SNAPSHOT")" != "$(realpath "$OUT_DIR/$(basename "$SNAPSHOT")" 2>/dev/null || true)" ]; then
+  cp "$SNAPSHOT" "$OUT_DIR/"
+fi
+
 echo
+echo "== perf snapshot: $SNAPSHOT"
 echo "== results archived:"
 ls -l "$OUT_DIR"

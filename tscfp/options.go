@@ -92,11 +92,15 @@ const (
 // is 0 when the stage has no meaningful denominator. Cost carries the best
 // annealing cost during StageAnneal and the watched correlation during
 // StagePostProcess.
+//
+// Event marshals to stable JSON, so serving layers (tscfpd's SSE stream)
+// forward flow progress verbatim instead of mirroring it into an ad-hoc
+// wire struct.
 type Event struct {
-	Stage Stage
-	Done  int
-	Total int
-	Cost  float64
+	Stage Stage   `json:"stage"`
+	Done  int     `json:"done"`
+	Total int     `json:"total"`
+	Cost  float64 `json:"cost"`
 }
 
 // settings accumulates option values before a Flow is built.
