@@ -40,6 +40,8 @@ func main() {
 		showFP      = flag.Bool("floorplan", false, "print an ASCII rendering of the last run's floorplan")
 		protect     = flag.Bool("protect", false, "post-process only the sensitive modules (Sec. 7.1 adaptation)")
 		par         = flag.Int("parallelism", 0, "thermal solver/estimator worker goroutines per run (0 = one per CPU, 1 = serial; results identical)")
+		replicas    = flag.Int("replicas", 1, "tempered annealing chains per run (replica exchange; >= 2 is a different deterministic walk than serial)")
+		speculate   = flag.Int("speculate", 1, "candidate moves evaluated concurrently per annealing step (>= 2 is a different deterministic walk than serial)")
 		fullCost    = flag.Bool("full-recompute", false, "disable the incremental cost evaluator (debug/reference; much slower)")
 		fullVolt    = flag.Bool("full-volt", false, "recompute the voltage assignment from scratch at every refresh instead of the incremental engine (debug/reference)")
 		fullEntropy = flag.Bool("full-entropy", false, "recompute the spatial entropy from scratch per dirty die instead of the incremental entropy cache (debug/reference)")
@@ -73,13 +75,19 @@ func main() {
 	fmt.Printf("benchmark %s: %d modules (%d hard / %d soft), %d nets, %d terminals, %.2f mm^2/die, %.2f W @1.0V\n",
 		design.Name(), design.NumModules(), design.HardModules(), design.SoftModules(),
 		design.NumNets(), design.NumTerminals(), ow*oh/1e6, design.TotalPower())
-	fmt.Printf("mode %s, %d run(s), %d SA iterations, %dx%d grid\n\n", m, *runs, *iters, *grid, *grid)
+	fmt.Printf("mode %s, %d run(s), %d SA iterations, %dx%d grid\n", m, *runs, *iters, *grid, *grid)
+	if *replicas > 1 || *speculate > 1 {
+		fmt.Printf("parallel anneal: %d replica(s), speculation width %d\n", *replicas, *speculate)
+	}
+	fmt.Println()
 
 	opts := []tscfp.Option{
 		tscfp.WithGridN(*grid),
 		tscfp.WithIterations(*iters),
 		tscfp.WithActivitySamples(*samples),
 		tscfp.WithParallelism(*par),
+		tscfp.WithReplicas(*replicas),
+		tscfp.WithSpeculation(*speculate),
 		tscfp.WithIncrementalCost(!*fullCost),
 		tscfp.WithIncrementalVoltage(!*fullVolt),
 		tscfp.WithIncrementalEntropy(!*fullEntropy),

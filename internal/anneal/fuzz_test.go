@@ -1,0 +1,98 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzAnnealReplicaSwap drives RunParallel through randomized temperature
+// ladders, swap cadences, and replica/speculation shapes on the incremental
+// toy problem, and checks the per-replica journal invariants at every swap
+// barrier: each copy's incrementally patched cost must match a from-scratch
+// recompute within 1e-9 relative, and all speculative copies of a replica
+// must stay byte-identical in state, cached cost, and evaluation count.
+func FuzzAnnealReplicaSwap(f *testing.F) {
+	f.Add(int64(1), int64(2), int64(1), int64(400), int64(0), 1.5)
+	f.Add(int64(7), int64(4), int64(3), int64(900), int64(35), 2.25)
+	f.Add(int64(42), int64(3), int64(2), int64(777), int64(120), 1.05)
+
+	f.Fuzz(func(t *testing.T, seed, k, m, iters, swapEvery int64, ladder float64) {
+		K := int(mod(k, 4)) + 2 // 2..5 replicas
+		M := int(mod(m, 3)) + 1 // 1..3 speculative copies
+		budget := int(mod(iters, 1500)) + 50
+		se := int(mod(swapEvery, 200)) // 0 picks the chain-multiple default
+		if math.IsNaN(ladder) || math.IsInf(ladder, 0) || ladder < 0.2 || ladder > 8 {
+			ladder = 1.5
+		}
+
+		reps := make([]Replica, K)
+		sums := make([][]*incrSum, K)
+		root := rand.New(rand.NewSource(seed))
+		for r := range reps {
+			rng := rand.New(rand.NewSource(root.Int63()))
+			reps[r], sums[r] = specReplica(9, M, rng)
+		}
+
+		check := func(when string) {
+			for r := range sums {
+				primary := sums[r][0]
+				primary.checkInvariant(t, when)
+				for c := 1; c < len(sums[r]); c++ {
+					cp := sums[r][c]
+					cp.checkInvariant(t, when)
+					for i := range cp.x {
+						if cp.x[i] != primary.x[i] {
+							t.Fatalf("%s: replica %d copy %d state diverged at %d", when, r, c, i)
+						}
+					}
+					if cp.cached != primary.cached || cp.evals != primary.evals {
+						t.Fatalf("%s: replica %d copy %d out of lockstep (cached %v/%v, evals %d/%d)",
+							when, r, c, cp.cached, primary.cached, cp.evals, primary.evals)
+					}
+				}
+			}
+		}
+
+		res := RunParallel(reps, ParallelOptions{
+			Schedule:     Options{Iterations: budget},
+			SwapEvery:    se,
+			LadderFactor: ladder,
+			SwapSeed:     seed ^ 0x5DEECE66D,
+			OnStride:     func(done, total int, best float64) { check("post-swap barrier") },
+		})
+		check("final")
+
+		total := 0
+		for r := range res.Replicas {
+			if got := res.Replicas[r].Iterations; got > budget {
+				t.Fatalf("replica %d overran its budget: %d > %d", r, got, budget)
+			}
+			total += res.Replicas[r].Iterations
+		}
+		if total != K*budget {
+			t.Fatalf("fleet consumed %d moves, want %d", total, K*budget)
+		}
+		if res.SwapAccepts > res.SwapAttempts {
+			t.Fatalf("swap accepts %d exceed attempts %d", res.SwapAccepts, res.SwapAttempts)
+		}
+		if res.Best < 0 || res.Best >= K {
+			t.Fatalf("best index %d out of range", res.Best)
+		}
+		for r := range res.Replicas {
+			if res.Replicas[r].BestCost < res.BestCost {
+				t.Fatalf("replica %d best %v beats the reported fleet best %v",
+					r, res.Replicas[r].BestCost, res.BestCost)
+			}
+		}
+	})
+}
+
+// mod is a non-negative modulus for fuzz-provided int64s.
+func mod(v, n int64) int64 {
+	r := v % n
+	if r < 0 {
+		r += n
+	}
+	return r
+}

@@ -149,6 +149,22 @@ type Config struct {
 	// separable convolutions. 0 selects GOMAXPROCS; 1 forces the serial
 	// path. Results are byte-identical for every setting.
 	Parallelism int
+	// Replicas runs K tempered annealing chains (parallel tempering): each
+	// replica anneals on its own RNG stream at its rung of a geometric
+	// temperature ladder, neighbours periodically swap temperatures by the
+	// Metropolis criterion, and the best replica's floorplan feeds the rest
+	// of the flow. 0 and 1 select the single-chain serial path, which is
+	// bit-identical to pre-replica releases at a fixed seed. K >= 2 is its
+	// own deterministic contract: a fixed (Seed, Replicas, Speculation)
+	// triple yields a byte-identical Result for any GOMAXPROCS, but the
+	// result differs from the serial walk.
+	Replicas int
+	// Speculation evaluates M candidate moves per annealing step
+	// concurrently, each on its own evaluator copy, and commits the first
+	// acceptance in candidate order. 0 and 1 select the serial move loop.
+	// Like Replicas, M >= 2 keeps the GOMAXPROCS-independence guarantee but
+	// is a different (still deterministic) walk than serial.
+	Speculation int
 	// IncrementalCost selects the caching annealing-loop evaluator that
 	// repacks only moved dies and patches per-net and per-die cost state
 	// (incremental.go). Nil defaults to true; the full-recompute path is
@@ -291,6 +307,13 @@ func (c *Config) defaults() {
 		inc := true
 		c.IncrementalSTA = &inc
 	}
+	// Replica/speculation workers are the annealing loop's own use of the
+	// cores; defaulting the thermal fan-out to serial inside each worker
+	// avoids oversubscribing GOMAXPROCS with nested pools. An explicit
+	// Parallelism still wins.
+	if (c.Replicas > 1 || c.Speculation > 1) && c.Parallelism == 0 {
+		c.Parallelism = 1
+	}
 }
 
 // EvalStats reports the annealing-loop evaluation effort: how many cost
@@ -365,6 +388,30 @@ type EvalStats struct {
 	// the largest |incremental - full| cost difference they observed.
 	CrossChecks        int
 	MaxCrossCheckError float64
+	// Replicas records the tempered-chain count when the parallel annealer
+	// ran (0 on the serial path); ReplicaSwapAttempts/ReplicaSwapAccepts
+	// count the Metropolis temperature-swap decisions across the ladder and
+	// ReplicaBest is the index of the chain that produced the final
+	// floorplan.
+	Replicas            int
+	ReplicaSwapAttempts int
+	ReplicaSwapAccepts  int
+	ReplicaBest         int
+	// AnnealBestCost is the best (normalized, weighted) annealing cost the
+	// search reached — the quality the replica ladder buys. It is a core
+	// diagnostic only: the tscfp wire schema does not carry it, so serial
+	// result encodings are unchanged.
+	AnnealBestCost float64
+	// SpecWorkers records the speculative-evaluation width M whenever the
+	// parallel annealer ran (1 for a replica-only run, 0 on the serial path);
+	// SpecBatches counts candidate batches evaluated, SpecCommits the
+	// batches that committed an acceptance, and SpecDiscarded the candidate
+	// evaluations thrown away (losers of a committed batch plus all
+	// candidates of batches with no acceptance).
+	SpecWorkers   int
+	SpecBatches   int
+	SpecCommits   int
+	SpecDiscarded int
 }
 
 // DieMetrics bundles the per-die leakage measurements.

@@ -48,40 +48,54 @@ func RunContext(ctx context.Context, des *netlist.Design, cfg Config) (*Result, 
 	thermCfg := thermal.DefaultConfig(cfg.GridN, cfg.GridN, des.OutlineW, des.OutlineH, des.Dies)
 	fast := thermal.CalibrateFastWorkers(thermCfg, cfg.Parallelism)
 
-	// Annealing.
-	fp := floorplan.NewRandom(des, rng)
-	ev := &evaluator{fp: fp, cfg: &cfg, fast: fast, check: cfg.CostCrossCheck}
-	if *cfg.IncrementalCost {
-		ev.incr = newIncrState()
-		ev.voltIncr = *cfg.IncrementalVoltage
-		ev.entropyIncr = *cfg.IncrementalEntropy
-		ev.adjIncr = *cfg.AdjacencyIndex
-		ev.staIncr = *cfg.IncrementalSTA
-	}
+	// Annealing: the serial chain, or — when replica exchange or
+	// speculative evaluation is requested — the parallel annealer. The
+	// serial path is untouched so existing seeds reproduce byte-identically.
 	var best *floorplan.Floorplan
-	cfg.emit(ProgressEvent{Stage: StageAnneal, Total: cfg.SAIterations})
-	anneal.Run(ev, anneal.Options{
-		Iterations: cfg.SAIterations,
-		Ctx:        ctx,
-		OnBest: func(cost float64) {
-			best = fp.Clone()
-		},
-		OnChain: func(done, total int, bestCost float64) {
-			cfg.emit(ProgressEvent{Stage: StageAnneal, Done: done, Total: total, Cost: bestCost})
-		},
-	}, rng)
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	if best == nil {
-		best = fp
+	var evStats EvalStats
+	if cfg.Replicas > 1 || cfg.Speculation > 1 {
+		cfg.emit(ProgressEvent{Stage: StageAnneal, Total: cfg.SAIterations})
+		b, stats, err := runParallelAnneal(ctx, des, &cfg, rng, fast)
+		if err != nil {
+			return nil, err
+		}
+		best, evStats = b, stats
+	} else {
+		fp := floorplan.NewRandom(des, rng)
+		ev := &evaluator{fp: fp, cfg: &cfg, fast: fast, check: cfg.CostCrossCheck}
+		if *cfg.IncrementalCost {
+			ev.incr = newIncrState()
+			ev.voltIncr = *cfg.IncrementalVoltage
+			ev.entropyIncr = *cfg.IncrementalEntropy
+			ev.adjIncr = *cfg.AdjacencyIndex
+			ev.staIncr = *cfg.IncrementalSTA
+		}
+		cfg.emit(ProgressEvent{Stage: StageAnneal, Total: cfg.SAIterations})
+		ares := anneal.Run(ev, anneal.Options{
+			Iterations: cfg.SAIterations,
+			Ctx:        ctx,
+			OnBest: func(cost float64) {
+				best = fp.Clone()
+			},
+			OnChain: func(done, total int, bestCost float64) {
+				cfg.emit(ProgressEvent{Stage: StageAnneal, Done: done, Total: total, Cost: bestCost})
+			},
+		}, rng)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if best == nil {
+			best = fp
+		}
+		evStats = ev.stats
+		evStats.AnnealBestCost = ares.BestCost
 	}
 	layout := best.Pack()
 
 	res := &Result{
 		Design:    layout.Design,
 		Layout:    layout,
-		EvalStats: ev.stats,
+		EvalStats: evStats,
 		started:   started,
 	}
 	if err := finalize(ctx, res, &cfg, rng); err != nil {

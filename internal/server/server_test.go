@@ -318,6 +318,79 @@ func TestSweepJob(t *testing.T) {
 	}
 }
 
+// TestReplicaJob runs a 2-replica speculative job end to end over HTTP: the
+// job completes with SSE progress, its Result carries the repl_*/spec_*
+// stats and matches an in-process run with the same shape, and the dedupe
+// key treats the serial spellings ("replicas": 1 vs omitted) as the same
+// submission while keeping the 2-replica artifact distinct.
+func TestReplicaJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 8})
+
+	body := `{
+		"benchmark": "n100",
+		"options": {"mode": "tsc", "seed": 42, "iterations": 100, "grid_n": 12,
+		            "activity_samples": 4, "max_dummy_groups": 2,
+		            "replicas": 2, "speculation": 2}
+	}`
+	st, resp := submit(t, ts, body)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	followSSE(t, ts, st.ID)
+	final := getStatus(t, ts, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("replica job state = %s (error %q)", final.State, final.Error)
+	}
+	got := decodeResult(t, ts, st.ID)
+	if got.Stats.ReplicaCount != 2 || got.Stats.SpecWorkers != 2 {
+		t.Fatalf("served result missing parallel stats: %+v", got.Stats)
+	}
+
+	ro := testRunOptions
+	ro.Replicas, ro.Speculation = 2, 2
+	opts, err := ro.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tscfp.Run(context.Background(), tscfp.MustBenchmark("n100"), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Metrics.RuntimeSec, want.Metrics.RuntimeSec = 0, 0
+	gotJSON, _ := got.JSON()
+	wantJSON, _ := want.JSON()
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatalf("served replica result differs from in-process run (%d vs %d bytes)",
+			len(gotJSON), len(wantJSON))
+	}
+
+	// Serial baseline, then the explicit "replicas": 1 spelling: Canonical
+	// normalizes 1 to 0, so the spelling must dedupe against the serial
+	// artifact — and not against the 2-replica one.
+	stSerial, respSerial := submit(t, ts, testJobBody)
+	if respSerial.StatusCode != http.StatusCreated {
+		t.Fatalf("serial submit status = %d", respSerial.StatusCode)
+	}
+	followSSE(t, ts, stSerial.ID)
+	finalSerial := getStatus(t, ts, stSerial.ID)
+	if finalSerial.State != StateDone {
+		t.Fatalf("serial job state = %s", finalSerial.State)
+	}
+	if finalSerial.ArtifactID == final.ArtifactID {
+		t.Fatal("serial and 2-replica runs content-addressed identically")
+	}
+	one := strings.Replace(testJobBody, `"max_dummy_groups": 2`,
+		`"max_dummy_groups": 2, "replicas": 1, "speculation": 1`, 1)
+	st2, resp2 := submit(t, ts, one)
+	if resp2.StatusCode != http.StatusOK || !st2.Deduped {
+		t.Fatalf("replicas=1 spelling did not dedupe: status %d, %+v", resp2.StatusCode, st2)
+	}
+	if st2.ArtifactID != finalSerial.ArtifactID {
+		t.Fatalf("replicas=1 deduped to %s, want the serial artifact %s",
+			st2.ArtifactID, finalSerial.ArtifactID)
+	}
+}
+
 // TestCancelRunningJob cancels a long-running job via DELETE and expects a
 // prompt cancelled state.
 func TestCancelRunningJob(t *testing.T) {

@@ -13,7 +13,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BENCH_FILTER="${BENCH_FILTER:-BenchmarkAnnealLoop|BenchmarkDetailedSolve|BenchmarkFastEstimate}"
+BENCH_FILTER="${BENCH_FILTER:-BenchmarkAnnealLoop|BenchmarkAnnealReplicas|BenchmarkDetailedSolve|BenchmarkFastEstimate}"
 BENCH_TIME="${BENCH_TIME:-1x}"
 # Pinned workload knobs: the perf suite must measure the same work on every
 # commit. REPRO_BENCH_ITERS drives the anneal-loop budget (see bench_test.go).

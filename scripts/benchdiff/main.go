@@ -1,0 +1,120 @@
+// Command benchdiff compares two BENCH_<rev>.json perf snapshots (as emitted
+// by scripts/bench.sh) and fails when a benchmark matching the filter
+// regressed beyond the tolerance — the ROADMAP's perf-trajectory gate.
+//
+// Usage:
+//
+//	go run ./scripts/benchdiff -old BENCH_abc1234.json -new BENCH_def5678.json
+//	go run ./scripts/benchdiff -filter 'BenchmarkAnnealLoop' -tolerance 0.10 ...
+//
+// Benchmark names are normalized by stripping the trailing -GOMAXPROCS
+// suffix, so snapshots recorded at different core counts still line up.
+// Rows present in only one snapshot are reported but never fail the gate
+// (new benchmarks land without a baseline; retired ones drop out).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+type snapshot struct {
+	Meta struct {
+		GitRev    string `json:"git_rev"`
+		GoVersion string `json:"go_version"`
+		Nproc     int    `json:"nproc"`
+	} `json:"meta"`
+	Benchmarks []struct {
+		Benchmark string  `json:"benchmark"`
+		NsPerOp   float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func load(path string, filter *regexp.Regexp) (snapshot, map[string]float64, error) {
+	var s snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, nil, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	rows := make(map[string]float64)
+	for _, b := range s.Benchmarks {
+		name := gomaxprocsSuffix.ReplaceAllString(b.Benchmark, "")
+		if filter.MatchString(name) && b.NsPerOp > 0 {
+			rows[name] = b.NsPerOp
+		}
+	}
+	return s, rows, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline BENCH_<rev>.json (committed snapshot)")
+	newPath := flag.String("new", "", "freshly emitted BENCH_<rev>.json")
+	filterStr := flag.String("filter", "BenchmarkAnnealLoop", "regexp selecting the gated benchmarks")
+	tolerance := flag.Float64("tolerance", 0.10, "maximum allowed relative slowdown (0.10 = +10%)")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		os.Exit(2)
+	}
+	filter, err := regexp.Compile(*filterStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: bad -filter: %v\n", err)
+		os.Exit(2)
+	}
+	oldSnap, oldRows, err := load(*oldPath, filter)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newSnap, newRows, err := load(*newPath, filter)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("baseline %s (%d cores) -> current %s (%d cores), gate: %s > +%.0f%%\n",
+		oldSnap.Meta.GitRev, oldSnap.Meta.Nproc, newSnap.Meta.GitRev, newSnap.Meta.Nproc,
+		*filterStr, *tolerance*100)
+
+	names := make([]string, 0, len(oldRows))
+	for name := range oldRows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, name := range names {
+		oldNs := oldRows[name]
+		newNs, ok := newRows[name]
+		if !ok {
+			fmt.Printf("  MISSING  %-60s (in baseline only)\n", name)
+			continue
+		}
+		delta := (newNs - oldNs) / oldNs
+		mark := "ok"
+		if delta > *tolerance {
+			mark = "REGRESSED"
+			regressions++
+		}
+		fmt.Printf("  %-9s %-60s %12.0f -> %12.0f ns/op (%+.1f%%)\n", mark, name, oldNs, newNs, delta*100)
+	}
+	for name := range newRows {
+		if _, ok := oldRows[name]; !ok {
+			fmt.Printf("  NEW      %-60s %12.0f ns/op (no baseline)\n", name, newRows[name])
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond +%.0f%%\n",
+			regressions, *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions beyond tolerance")
+}

@@ -113,6 +113,22 @@ type RunStats struct {
 	SolverSweeps    int     `json:"solver_sweeps"`
 	SolverResidual  float64 `json:"solver_residual"`
 	SolverConverged bool    `json:"solver_converged"`
+	// ReplicaCount and the repl_* counters describe a WithReplicas run:
+	// the chain count, the Metropolis temperature-swap attempts/accepts
+	// across the ladder, and the index of the chain whose floorplan won.
+	// All zero (and omitted) on the serial path, which keeps serial result
+	// encodings byte-identical to earlier releases.
+	ReplicaCount        int `json:"repl_replicas,omitempty"`
+	ReplicaSwapAttempts int `json:"repl_swap_attempts,omitempty"`
+	ReplicaSwapAccepts  int `json:"repl_swap_accepts,omitempty"`
+	ReplicaBest         int `json:"repl_best,omitempty"`
+	// SpecWorkers and the spec_* counters describe WithSpeculation:
+	// the candidate width, batches evaluated, batches that committed an
+	// acceptance, and candidate evaluations discarded. Omitted when zero.
+	SpecWorkers   int `json:"spec_workers,omitempty"`
+	SpecBatches   int `json:"spec_batches,omitempty"`
+	SpecCommits   int `json:"spec_commits,omitempty"`
+	SpecDiscarded int `json:"spec_discarded,omitempty"`
 }
 
 // PlacedModule is one module of the final layout.

@@ -30,6 +30,11 @@ type RunOptions struct {
 	VoltTargetFactor  float64  `json:"volt_target_factor,omitempty"`
 	Weights           *Weights `json:"weights,omitempty"`
 	Parallelism       *int     `json:"parallelism,omitempty"`
+	// Replicas and Speculation select the parallel annealer (WithReplicas /
+	// WithSpeculation). 0 and 1 both mean the serial path; Canonical
+	// normalizes 1 to 0 so the two spellings content-address identically.
+	Replicas    int `json:"replicas,omitempty"`
+	Speculation int `json:"speculation,omitempty"`
 }
 
 // Canonical returns a normalized copy: mode and criterion spellings are
@@ -48,6 +53,21 @@ func (o RunOptions) Canonical() (RunOptions, error) {
 	case "", BottomDie, AllDies:
 	default:
 		return RunOptions{}, fmt.Errorf("tscfp: unknown post criterion %q", o.PostCriterion)
+	}
+	// 1 and 0 both select the serial annealing path and must hash the same;
+	// negatives would otherwise canonicalize silently and only fail later in
+	// NewFlow, after a dedupe key was already derived from them.
+	if o.Replicas < 0 {
+		return RunOptions{}, fmt.Errorf("tscfp: negative replica count %d", o.Replicas)
+	}
+	if o.Speculation < 0 {
+		return RunOptions{}, fmt.Errorf("tscfp: negative speculation width %d", o.Speculation)
+	}
+	if o.Replicas == 1 {
+		o.Replicas = 0
+	}
+	if o.Speculation == 1 {
+		o.Speculation = 0
 	}
 	return o, nil
 }
@@ -107,6 +127,12 @@ func (o RunOptions) Options() ([]Option, error) {
 	}
 	if c.Parallelism != nil {
 		opts = append(opts, WithParallelism(*c.Parallelism))
+	}
+	if c.Replicas != 0 {
+		opts = append(opts, WithReplicas(c.Replicas))
+	}
+	if c.Speculation != 0 {
+		opts = append(opts, WithSpeculation(c.Speculation))
 	}
 	return opts, nil
 }

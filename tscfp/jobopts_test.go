@@ -113,6 +113,60 @@ func TestRunOptionsEquivalentToDirectOptions(t *testing.T) {
 	}
 }
 
+// TestRunOptionsReplicaCanonical pins the dedupe-key behaviour of the
+// parallel-anneal knobs: 1 and 0 select the same serial path and must
+// canonicalize to identical JSON (so tscfpd content addresses them to the
+// same artifact), explicit counts survive canonicalization, and negatives
+// are rejected up front — before a dedupe key could be derived from them.
+func TestRunOptionsReplicaCanonical(t *testing.T) {
+	zero, err := RunOptions{Seed: 7}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := RunOptions{Seed: 7, Replicas: 1, Speculation: 1}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zj, _ := json.Marshal(zero)
+	oj, _ := json.Marshal(one)
+	if string(zj) != string(oj) {
+		t.Fatalf("replicas=1 and replicas unset canonicalize differently: %s vs %s", oj, zj)
+	}
+
+	c, err := RunOptions{Replicas: 4, Speculation: 2}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Replicas != 4 || c.Speculation != 2 {
+		t.Fatalf("explicit parallel shape not preserved: %+v", c)
+	}
+	opts, err := RunOptions{Replicas: 4, Speculation: 2}.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) != 2 {
+		t.Fatalf("replica+speculation lowered to %d options, want 2", len(opts))
+	}
+	if _, err := NewFlow(MustBenchmark("n100"), opts...); err != nil {
+		t.Fatal(err)
+	}
+	// Normalized-away serial spellings lower to no options at all.
+	opts, err = RunOptions{Replicas: 1, Speculation: 1}.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) != 0 {
+		t.Fatalf("serial spellings lowered to %d options, want 0", len(opts))
+	}
+
+	if _, err := (RunOptions{Replicas: -1}).Canonical(); err == nil {
+		t.Fatal("negative replica count accepted")
+	}
+	if _, err := (RunOptions{Speculation: -2}).Canonical(); err == nil {
+		t.Fatal("negative speculation width accepted")
+	}
+}
+
 // TestRunOptionsAllKnobs checks every field lowers into an option that
 // NewFlow accepts, and that invalid ranges still surface from NewFlow.
 func TestRunOptionsAllKnobs(t *testing.T) {
@@ -126,6 +180,7 @@ func TestRunOptionsAllKnobs(t *testing.T) {
 		ProtectedModules: []int{0, 1}, MaxDummyGroups: 2, DummyViasPerGroup: 4,
 		VoltEvery: 5, VoltTargetFactor: 1.2,
 		Weights: &w, Parallelism: &par,
+		Replicas: 2, Speculation: 3,
 	}
 	opts, err := full.Options()
 	if err != nil {

@@ -327,6 +327,47 @@ func WithParallelism(n int) Option {
 	}
 }
 
+// WithReplicas runs k tempered annealing chains (replica exchange / parallel
+// tempering): each replica anneals on its own RNG stream at its rung of a
+// geometric temperature ladder, neighbours periodically swap temperatures by
+// the Metropolis criterion, and the best replica's floorplan feeds the rest
+// of the flow. 0 and 1 (the default) select the single-chain serial path,
+// which stays bit-identical to earlier releases at a fixed seed.
+//
+// k >= 2 is its own deterministic contract: a fixed (seed, replicas,
+// speculation) triple yields a byte-identical Result for any GOMAXPROCS, but
+// the walk differs from the serial one — replicas trade reproducibility of
+// the historical stream for quality per wall-clock second. Under replicas
+// the per-run thermal Parallelism defaults to 1 (the chains are the
+// parallelism); an explicit WithParallelism wins.
+func WithReplicas(k int) Option {
+	return func(s *settings) {
+		if k < 0 {
+			s.fail("negative replica count %d", k)
+			return
+		}
+		s.cfg.Replicas = k
+	}
+}
+
+// WithSpeculation evaluates m candidate moves per annealing step
+// concurrently, each against its own copy of the incremental-cost state, and
+// commits the first acceptance in a fixed candidate order. 0 and 1 (the
+// default) select the serial move loop. Like WithReplicas, m >= 2 keeps the
+// GOMAXPROCS-independence guarantee — same seed and shape, byte-identical
+// Result — while walking a different (still deterministic) move sequence
+// than serial. Composes with WithReplicas: every replica evaluates m
+// candidates per step.
+func WithSpeculation(m int) Option {
+	return func(s *settings) {
+		if m < 0 {
+			s.fail("negative speculation width %d", m)
+			return
+		}
+		s.cfg.Speculation = m
+	}
+}
+
 // WithIncrementalCost selects the annealing-loop cost evaluator. Enabled by
 // default: moves repack only the dies they touch and patch cached per-net
 // wirelength/delay and per-die thermal state, with the full-recompute path

@@ -132,6 +132,14 @@ func newResult(res *core.Result, mode Mode, seed int64) *Result {
 			SolverSweeps:             res.SolverStats.Sweeps,
 			SolverResidual:           res.SolverStats.Residual,
 			SolverConverged:          res.SolverStats.Converged,
+			ReplicaCount:             res.EvalStats.Replicas,
+			ReplicaSwapAttempts:      res.EvalStats.ReplicaSwapAttempts,
+			ReplicaSwapAccepts:       res.EvalStats.ReplicaSwapAccepts,
+			ReplicaBest:              res.EvalStats.ReplicaBest,
+			SpecWorkers:              res.EvalStats.SpecWorkers,
+			SpecBatches:              res.EvalStats.SpecBatches,
+			SpecCommits:              res.EvalStats.SpecCommits,
+			SpecDiscarded:            res.EvalStats.SpecDiscarded,
 		},
 		raw: res,
 	}
