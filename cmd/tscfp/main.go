@@ -47,6 +47,7 @@ func main() {
 		fullEntropy = flag.Bool("full-entropy", false, "recompute the spatial entropy from scratch per dirty die instead of the incremental entropy cache (debug/reference)")
 		fullAdj     = flag.Bool("full-adj", false, "re-sweep module adjacency at every voltage refresh instead of the incremental adjacency index (debug/reference)")
 		fullSTA     = flag.Bool("full-sta", false, "run two full-design STA passes per annealing evaluation instead of the incremental timing caches (debug/reference)")
+		churnStats  = flag.Bool("churn-stats", false, "surface the exact-diff repack churn counters: print a per-run pack/fallback summary and include the pack_* fields in -json output")
 		checkCost   = flag.Bool("check-cost", false, "cross-check every incremental cost (and voltage refresh, entropy patch, adjacency update, STA patch) against a full recompute (debug; very slow)")
 		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
@@ -94,6 +95,7 @@ func main() {
 		tscfp.WithAdjacencyIndex(!*fullAdj),
 		tscfp.WithIncrementalSTA(!*fullSTA),
 		tscfp.WithCostCrossCheck(*checkCost),
+		tscfp.WithChurnStats(*churnStats),
 	}
 	if *protect {
 		sensitive := design.SensitiveModules()
@@ -143,6 +145,19 @@ func main() {
 		agg.DummyTSVs += mm.DummyTSVs
 		agg.VoltageVolumes += mm.VoltageVolumes
 		agg.RuntimeSec += mm.RuntimeSec
+		if *churnStats {
+			st := sr.Result.Stats
+			early, trips, bulk := 0.0, 0.0, 0.0
+			if st.PackDieDiffs > 0 {
+				early = 100 * float64(st.PackEarlyExits) / float64(st.PackDieDiffs)
+			}
+			if st.PackMoves > 0 {
+				trips = 100 * float64(st.STAGateTrips) / float64(st.PackMoves)
+				bulk = 100 * float64(st.AdjBulkFallbacks) / float64(st.PackMoves)
+			}
+			fmt.Printf("run %d churn: changed p50=%d p95=%d modules/move, early-exit %.1f%% of %d die diffs, sta gate trips %.1f%%, adj bulk fallbacks %.1f%%\n",
+				sr.Cell.Index, st.PackChangedP50, st.PackChangedP95, early, st.PackDieDiffs, trips, bulk)
+		}
 	}
 	n := float64(*runs)
 	fmt.Printf("\naverages over %d run(s) (%s, %s):\n", *runs, design.Name(), m)

@@ -50,6 +50,26 @@ func FuzzAnnealReplicaSwap(f *testing.F) {
 						t.Fatalf("%s: replica %d copy %d out of lockstep (cached %v/%v, evals %d/%d)",
 							when, r, c, cp.cached, primary.cached, cp.evals, primary.evals)
 					}
+					// Diff-bookkeeping lockstep: outside either copy's
+					// pending set the mirrors must agree byte-exactly.
+					// A committed-winner replay legitimately leaves the
+					// replayed index pending on loser copies (mirror
+					// sync deferred to the next Cost), so those indices
+					// are exempt; everything else diverging means a
+					// freeze/rollback path smeared the bookkeeping.
+					pend := make(map[int]bool, len(cp.pending)+len(primary.pending))
+					for _, i := range cp.pending {
+						pend[i] = true
+					}
+					for _, i := range primary.pending {
+						pend[i] = true
+					}
+					for i := range cp.mirror {
+						if !pend[i] && cp.mirror[i] != primary.mirror[i] {
+							t.Fatalf("%s: replica %d copy %d mirror diverged at %d (%v vs %v)",
+								when, r, c, i, cp.mirror[i], primary.mirror[i])
+						}
+					}
 				}
 			}
 		}

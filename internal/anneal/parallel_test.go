@@ -23,6 +23,14 @@ type incrSum struct {
 	// evals counts Cost calls, mirroring the evaluator's stride counter that
 	// speculative copies must keep in lockstep.
 	evals int
+	// mirror/pending model the evaluator's exact-diff bookkeeping: mirror is
+	// the state as of the last Cost (the evaluator's changed-set mirror),
+	// pending the indices perturbed since then (the evaluator's pending
+	// move, which must survive the undo of a move it was folded into — the
+	// speculative loser-replay protocol). Cost absorbs pending into mirror;
+	// outside pending, mirror must stay byte-identical to x.
+	mirror  []float64
+	pending []int
 }
 
 func newIncrSum(n int, rng *rand.Rand) *incrSum {
@@ -32,15 +40,18 @@ func newIncrSum(n int, rng *rand.Rand) *incrSum {
 		p.target[i] = rng.NormFloat64()
 	}
 	p.cached = p.FullCost()
+	p.mirror = append([]float64(nil), p.x...)
 	return p
 }
 
 func (p *incrSum) Clone() *incrSum {
 	return &incrSum{
-		x:      append([]float64(nil), p.x...),
-		target: append([]float64(nil), p.target...),
-		cached: p.cached,
-		evals:  p.evals,
+		x:       append([]float64(nil), p.x...),
+		target:  append([]float64(nil), p.target...),
+		cached:  p.cached,
+		evals:   p.evals,
+		mirror:  append([]float64(nil), p.mirror...),
+		pending: append([]int(nil), p.pending...),
 	}
 }
 
@@ -55,18 +66,32 @@ func (p *incrSum) FullCost() float64 {
 
 func (p *incrSum) Cost() float64 {
 	p.evals++
+	for _, i := range p.pending {
+		p.mirror[i] = p.x[i]
+	}
+	p.pending = p.pending[:0]
 	return p.cached
 }
 
 func (p *incrSum) Perturb(rng *rand.Rand) func() {
 	i := rng.Intn(len(p.x))
 	step := (rng.Float64()*2 - 1) * 0.5
-	oldX, oldCached := p.x[i], p.cached
+	oldX, oldCached, oldMirror := p.x[i], p.cached, p.mirror[i]
+	pendLen := len(p.pending)
 	od := p.x[i] - p.target[i]
 	p.x[i] += step
 	nd := p.x[i] - p.target[i]
 	p.cached += nd*nd - od*od
-	return func() { p.x[i], p.cached = oldX, oldCached }
+	p.pending = append(p.pending, i)
+	return func() {
+		p.x[i], p.cached = oldX, oldCached
+		// Exact-diff rollback: restore the mirror entry (in case a Cost
+		// absorbed this move) and truncate pending back to the fold point —
+		// a previously pending move survives this undo, exactly like the
+		// evaluator's journal rollback.
+		p.mirror[i] = oldMirror
+		p.pending = p.pending[:pendLen]
+	}
 }
 
 // checkInvariant pins the journal invariant: the incrementally patched cost
@@ -76,6 +101,19 @@ func (p *incrSum) checkInvariant(t *testing.T, label string) {
 	full := p.FullCost()
 	if d := math.Abs(p.cached - full); d > 1e-9*math.Max(1, math.Abs(full)) {
 		t.Fatalf("%s: cached cost %v drifted from full recompute %v (|diff| %g)", label, p.cached, full, d)
+	}
+	// Diff bookkeeping must be byte-exact, not epsilon-close: outside the
+	// pending set the mirror is the state the last Cost saw, and the
+	// harness's freeze/rollback/replay paths must never smear it.
+	pend := make(map[int]bool, len(p.pending))
+	for _, i := range p.pending {
+		pend[i] = true
+	}
+	for i := range p.x {
+		if !pend[i] && p.mirror[i] != p.x[i] {
+			t.Fatalf("%s: mirror[%d] = %v differs from x[%d] = %v outside the pending set %v",
+				label, i, p.mirror[i], i, p.x[i], p.pending)
+		}
 	}
 }
 

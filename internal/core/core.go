@@ -412,6 +412,70 @@ type EvalStats struct {
 	SpecBatches   int
 	SpecCommits   int
 	SpecDiscarded int
+	// PackMoves counts moves applied through the diff-producing repack
+	// (PackDieFromDiff); PackDieDiffs the per-die diffs they ran (a move
+	// touches one or two dies); PackEarlyExits the diffs that stopped early
+	// because the resumed skyline re-converged with the pre-move snapshot;
+	// PackReplayedPositions the sequence positions actually replayed (vs
+	// whole-suffix under the old pessimistic contract); and
+	// PackChangedModules the modules whose placement actually changed —
+	// the exact churn every downstream engine gate now sees.
+	PackMoves             int
+	PackDieDiffs          int
+	PackEarlyExits        int
+	PackReplayedPositions int
+	PackChangedModules    int
+	// PackChangedHist is a per-move histogram of exact changed-set sizes:
+	// bucket i counts moves that changed i modules, with the last bucket
+	// absorbing everything >= len-1. Percentiles via PackChangedPercentile.
+	PackChangedHist []int
+	// STAGateTrips counts moves whose changed-net count exceeded the STA
+	// patch budget (~nNets/16), dropping the timing caches to the lazy
+	// full-rebuild path; AdjBulkFallbacks counts adjacency-index updates
+	// that fell back to the bulk sweep (> n/8 moved modules). Both are the
+	// churn-gate trips the exact changed-placement contract is meant to
+	// keep at zero for single-module moves.
+	STAGateTrips     int
+	AdjBulkFallbacks int
+}
+
+// packHistBuckets bounds the changed-set-size histogram; ibm01-class moves
+// stay far below it, and anything larger lands in the overflow bucket.
+const packHistBuckets = 512
+
+// recordPackChanged tallies one move's exact changed-set size.
+func (s *EvalStats) recordPackChanged(n int) {
+	if s.PackChangedHist == nil {
+		s.PackChangedHist = make([]int, packHistBuckets)
+	}
+	if n >= len(s.PackChangedHist) {
+		n = len(s.PackChangedHist) - 1
+	}
+	s.PackChangedHist[n]++
+	s.PackChangedModules += n
+}
+
+// PackChangedPercentile returns the p-quantile (p in [0,1]) of the per-move
+// changed-set sizes from the histogram: the smallest size s such that at
+// least p of the moves changed <= s modules. Sizes in the overflow bucket
+// report as packHistBuckets-1. Returns 0 when no moves were recorded.
+func (s *EvalStats) PackChangedPercentile(p float64) int {
+	total := 0
+	for _, c := range s.PackChangedHist {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	want := p * float64(total)
+	cum := 0
+	for sz, c := range s.PackChangedHist {
+		cum += c
+		if float64(cum) >= want {
+			return sz
+		}
+	}
+	return len(s.PackChangedHist) - 1
 }
 
 // DieMetrics bundles the per-die leakage measurements.

@@ -251,3 +251,37 @@ func TestDefaultWeights(t *testing.T) {
 		t.Fatal("TSC weights must include leakage terms")
 	}
 }
+
+// TestPackChangedHistogram pins the churn histogram's tally and percentile
+// semantics: exact bucket counts, the overflow clamp for outsized changed
+// sets, and the smallest-size-covering-p percentile rule the churn reports
+// are built on.
+func TestPackChangedHistogram(t *testing.T) {
+	var s EvalStats
+	if got := s.PackChangedPercentile(0.5); got != 0 {
+		t.Fatalf("empty histogram percentile = %d, want 0", got)
+	}
+	// 10 moves: sizes 1..8, plus 3 and one far beyond the bucket range.
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 8, 3, packHistBuckets + 100} {
+		s.recordPackChanged(n)
+	}
+	if s.PackChangedHist[3] != 2 || s.PackChangedHist[7] != 1 {
+		t.Fatalf("bucket counts wrong: hist[3]=%d hist[7]=%d", s.PackChangedHist[3], s.PackChangedHist[7])
+	}
+	if s.PackChangedHist[packHistBuckets-1] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", s.PackChangedHist[packHistBuckets-1])
+	}
+	wantTotal := 1 + 2 + 3 + 4 + 5 + 6 + 7 + 8 + 3 + (packHistBuckets - 1)
+	if s.PackChangedModules != wantTotal {
+		t.Fatalf("PackChangedModules = %d, want %d", s.PackChangedModules, wantTotal)
+	}
+	// 10 recorded moves, sizes sorted: 1 2 3 3 4 5 6 7 8 511.
+	for _, tc := range []struct {
+		p    float64
+		want int
+	}{{0, 0}, {0.1, 1}, {0.5, 4}, {0.9, 8}, {0.95, 511}, {1, packHistBuckets - 1}} {
+		if got := s.PackChangedPercentile(tc.p); got != tc.want {
+			t.Fatalf("percentile(%.2f) = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+}

@@ -75,11 +75,13 @@ type incrState struct {
 	pending *floorplan.Move // applied to fp but not yet to the caches
 	journal *moveJournal    // rollback record of the last evaluated move
 	dirty   []int           // dies whose maps need patching this evaluation
-	changed []int           // journal indices of modules whose placement changed
 
 	// packers[d] caches die d's skyline states so repacks resume from the
-	// move's first changed sequence position.
-	packers []*floorplan.DiePacker
+	// move's first changed sequence position. diffPool recycles the
+	// floorplan.PackDiff records that journal each repack (one or two per
+	// move, settled when the journal is superseded or rolled back).
+	packers  []*floorplan.DiePacker
+	diffPool []*floorplan.PackDiff
 
 	// Incremental voltage refresh (evaluator.voltIncr): vasg caches the
 	// voltage-volume candidate trees between stride refreshes; voltDirty
@@ -114,11 +116,19 @@ type incrState struct {
 	staStatsBase timing.STACacheStats
 
 	// Scratch, sized once.
-	candMark []bool
-	cands    []int
 	netStamp []int
 	stamp    int
 	dieMark  []bool
+
+	// Check-path placement mirror (evaluator.check only): the layout as of
+	// the last verified evaluation. Every cross-checked eval pins the
+	// modules that differ from it against the journal's exact changed set —
+	// the end-to-end proof that the diff contract reports precisely the
+	// real churn. movedEval marks that the current evaluation applied a
+	// move (vs a cache-only re-eval, whose diff must be empty).
+	checkRects []geom.Rect
+	checkDies  []int
+	movedEval  bool
 
 	// Recycled buffers: the annealing loop runs one evaluation per move, so
 	// per-eval allocations are worth pooling. staRef/staScaled back the
@@ -161,6 +171,26 @@ func (ic *incrState) releaseGrids(gs []*geom.Grid) {
 	}
 }
 
+// grabDiff returns a cleared pack-diff record from the pool or allocates one.
+func (ic *incrState) grabDiff() *floorplan.PackDiff {
+	if n := len(ic.diffPool); n > 0 {
+		pd := ic.diffPool[n-1]
+		ic.diffPool = ic.diffPool[:n-1]
+		pd.Reset()
+		return pd
+	}
+	return &floorplan.PackDiff{}
+}
+
+// releaseDiff returns a settled pack-diff record to the pool (bounded — a
+// move journals at most two).
+func (ic *incrState) releaseDiff(pd *floorplan.PackDiff) {
+	const diffPoolCap = 8
+	if len(ic.diffPool) < diffPoolCap {
+		ic.diffPool = append(ic.diffPool, pd)
+	}
+}
+
 // moveJournal records every cache mutation of one evaluated move so a
 // rejected move can be rolled back exactly.
 type moveJournal struct {
@@ -176,14 +206,18 @@ type moveJournal struct {
 	// per-die patches; rollback must invalidate them, not restore them.
 	mapsRebuilt bool
 
-	mods  []int // snapshotted modules (everything on a touched die)
+	// mods lists exactly the modules whose placement the move changed
+	// (concatenated from the per-die pack diffs — the exact set, not a
+	// touched-die snapshot), with their pre-move placements in rects/dies.
+	mods  []int
 	rects []geom.Rect
 	dies  []int
 
-	// moveDies/moveStarts record the move's touched dies and first changed
-	// sequence positions, for packer invalidation on rollback.
-	moveDies   []int
-	moveStarts []int
+	// packDiffs journal the per-die repacks: Rollback restores the layout
+	// and the packer's skyline snapshots byte-exactly (no invalidation, no
+	// suffix replay on the next move), Commit releases them when the move
+	// is accepted.
+	packDiffs []*floorplan.PackDiff
 
 	nets     []int
 	netLen   []float64
@@ -226,21 +260,34 @@ func newIncrState() *incrState { return &incrState{} }
 // and returns an undo closure that reverts both the floorplan and the
 // caches.
 func (ic *incrState) perturb(e *evaluator, rng *rand.Rand) func() {
+	// A still-pending move (applied to the floorplan without an intervening
+	// Cost — the speculative annealer's committed-winner replay does this on
+	// every losing copy) folds into the new move so no staleness can slip
+	// through. It must also SURVIVE an undo of the new move: the undo
+	// closure reverts only this Perturb's floorplan mutation, so the folded
+	// move is still applied to the floorplan but not to the caches —
+	// dropping it on rollback would leave the cached layout permanently
+	// stale on its dies (a latent bug the old suffix-pessimistic repack
+	// partially masked by over-rewriting; the exact-diff contract and its
+	// zero-tolerance cross-check require the protocol to be airtight).
+	prev := ic.pending
 	mv, undo := e.fp.PerturbMove(rng)
-	if ic.pending != nil {
-		// Defensive: a move was applied without an intervening Cost. Fold
-		// its dies into the new move so no staleness can slip through.
-		for i, d := range ic.pending.Dies {
-			mv.Touch(d, ic.pending.Starts[i])
+	if prev != nil {
+		for i, d := range prev.Dies {
+			mv.Touch(d, prev.Starts[i])
 		}
 	}
 	// The previous move's journal is superseded: once the annealer moves
 	// on without undoing, that move is committed and its pre-move grid
-	// snapshots can be recycled.
+	// snapshots and pack-diff journals can be recycled.
 	if j := ic.journal; j != nil {
 		ic.releaseGrids(j.oldMaps)
 		for _, r := range j.oldResp {
 			ic.releaseGrids(r)
+		}
+		for _, pd := range j.packDiffs {
+			pd.Commit()
+			ic.releaseDiff(pd)
 		}
 		ic.journal = nil
 	}
@@ -248,6 +295,9 @@ func (ic *incrState) perturb(e *evaluator, rng *rand.Rand) func() {
 	return func() {
 		undo()
 		ic.rollback()
+		// The folded-in move survives the undo: it is still applied to the
+		// floorplan and still unseen by the caches, so it stays pending.
+		ic.pending = prev
 	}
 }
 
@@ -256,7 +306,7 @@ func (ic *incrState) perturb(e *evaluator, rng *rand.Rand) func() {
 func (ic *incrState) rollback() {
 	ic.pending = nil
 	ic.dirty = ic.dirty[:0]
-	ic.changed = ic.changed[:0]
+	ic.movedEval = false
 	j := ic.journal
 	ic.journal = nil
 	if j == nil {
@@ -266,6 +316,7 @@ func (ic *incrState) rollback() {
 		ic.lay = nil
 		ic.mapsValid = false
 		ic.packers = nil
+		ic.checkRects, ic.checkDies = nil, nil
 		ic.invalidateSTA()
 		if ic.voltDirty != nil {
 			// The caches are gone wholesale; the assigner's snapshot no
@@ -278,17 +329,29 @@ func (ic *incrState) rollback() {
 	if ic.voltDirty != nil && j.refreshed {
 		// The assigner refreshed on the rejected geometry: relative to its
 		// snapshot, exactly the modules this rollback is about to revert
-		// are dirty. Diff before restoring.
+		// are dirty — and j.mods IS that set (every listed module changed,
+		// by the exact-diff contract).
 		ic.clearVoltDirty()
-		for i, m := range j.mods {
-			if ic.lay.Rects[m] != j.rects[i] || ic.lay.DieOf[m] != j.dies[i] {
-				ic.markVoltDirty(m)
-			}
+		for _, m := range j.mods {
+			ic.markVoltDirty(m)
 		}
 	}
-	for i, m := range j.mods {
-		ic.lay.Rects[m] = j.rects[i]
-		ic.lay.DieOf[m] = j.dies[i]
+	// Pack-diff rollback restores both the layout entries of j.mods and the
+	// packers' skyline snapshots byte-exactly (in reverse order, so a
+	// cross-die move unwinds destination before source) — the next repack
+	// resumes from live snapshots instead of replaying the whole suffix
+	// after an Invalidate.
+	for i := len(j.packDiffs) - 1; i >= 0; i-- {
+		j.packDiffs[i].Rollback(ic.lay)
+	}
+	for _, pd := range j.packDiffs {
+		ic.releaseDiff(pd)
+	}
+	if ic.checkRects != nil {
+		for i, m := range j.mods {
+			ic.checkRects[m] = j.rects[i]
+			ic.checkDies[m] = j.dies[i]
+		}
 	}
 	if ic.voltDirty != nil && !j.refreshed {
 		// No refresh saw the move: unmark exactly what it marked.
@@ -304,13 +367,6 @@ func (ic *incrState) rollback() {
 				}
 			}
 			ic.voltDirtyList = ic.voltDirtyList[:w]
-		}
-	}
-	// The die packers' snapshots past the undone move's start positions
-	// describe the rejected packing; drop them.
-	for i, d := range j.moveDies {
-		if ic.packers[d] != nil {
-			ic.packers[d].Invalidate(j.moveStarts[i])
 		}
 	}
 	for i, ni := range j.nets {
@@ -489,6 +545,7 @@ func (ic *incrState) patchSTA(e *evaluator, j *moveJournal) {
 		budget = 16
 	}
 	if len(ic.staNets) > budget {
+		e.stats.STAGateTrips++
 		ic.invalidateSTA()
 		return
 	}
@@ -555,10 +612,15 @@ func (e *evaluator) crossCheckSTA() {
 
 // crossCheck re-evaluates the current floorplan through the full-recompute
 // path (using the same voltage scales) and panics if the incremental cost
-// drifted past the epsilon contract. Debug aid: it forfeits the entire
+// drifted past the epsilon contract. It also pins the packer diff contract
+// at zero tolerance: the cached layout must equal a from-scratch Pack bit
+// for bit, and the modules that moved since the last verified evaluation
+// must be exactly the journal's changed set — no module missing from the
+// diff, none reported spuriously. Debug aid: it forfeits the entire
 // speedup, so it is only enabled by Config.CostCrossCheck and in tests.
 func (e *evaluator) crossCheck(got float64) {
 	e.stats.CrossChecks++
+	ic := e.incr
 	l := e.fp.Pack()
 	want := e.finishCost(l, e.staticTerms(l))
 	diff := math.Abs(got - want)
@@ -568,6 +630,42 @@ func (e *evaluator) crossCheck(got float64) {
 	if diff > 1e-9*math.Max(1, math.Abs(want)) {
 		panic(fmt.Sprintf("core: incremental cost %v diverged from full recompute %v (|diff| %g)",
 			got, want, diff))
+	}
+
+	// Placement pin, zero tolerance: the incrementally maintained layout is
+	// the full Pack, byte for byte.
+	moved := ic.movedEval
+	ic.movedEval = false
+	for m := range l.Rects {
+		if ic.lay.Rects[m] != l.Rects[m] || ic.lay.DieOf[m] != l.DieOf[m] {
+			panic(fmt.Sprintf("core: incremental placement of module %d (%+v die %d) != full pack (%+v die %d)",
+				m, ic.lay.Rects[m], ic.lay.DieOf[m], l.Rects[m], l.DieOf[m]))
+		}
+	}
+	// Exact-changed-set pin: diff the layout against the last verified
+	// mirror; the differing modules must be precisely the journal's mods
+	// when this eval applied a move, and nothing otherwise.
+	if ic.checkRects == nil || len(ic.checkRects) != len(l.Rects) {
+		ic.checkRects = append(ic.checkRects[:0], ic.lay.Rects...)
+		ic.checkDies = append(ic.checkDies[:0], ic.lay.DieOf...)
+		return
+	}
+	expected := make(map[int]bool)
+	if moved {
+		for _, m := range ic.journal.mods {
+			expected[m] = true
+		}
+	}
+	for m := range ic.lay.Rects {
+		changed := ic.lay.Rects[m] != ic.checkRects[m] || ic.lay.DieOf[m] != ic.checkDies[m]
+		if changed != expected[m] {
+			panic(fmt.Sprintf("core: exact-diff contract broken for module %d: placement changed=%v but journal reports changed=%v",
+				m, changed, expected[m]))
+		}
+		if changed {
+			ic.checkRects[m] = ic.lay.Rects[m]
+			ic.checkDies[m] = ic.lay.DieOf[m]
+		}
 	}
 }
 
@@ -620,7 +718,6 @@ func (ic *incrState) initGeometry(e *evaluator) {
 		}
 	}
 
-	ic.candMark = make([]bool, nMods)
 	ic.netStamp = make([]int, nNets)
 	ic.dieMark = make([]bool, ic.lay.Dies)
 
@@ -688,44 +785,22 @@ func (ic *incrState) refreshNet(ni int, n *netlist.Net, p *timing.Params) {
 	ic.netDelay[ni] = timing.ElmoreDelay(ln, cross, n.Degree(), *p)
 }
 
-// applyMove repacks the dies the pending move touched, diffs the module
-// placements, and patches the per-net caches. Map patching is deferred to
-// updateMaps (the voltage scales of this evaluation must be known first).
+// applyMove repacks the dies the pending move touched through the
+// diff-producing packer, journals the exact changed set, and patches the
+// per-net caches from it. Map patching is deferred to updateMaps (the
+// voltage scales of this evaluation must be known first).
 func (ic *incrState) applyMove(e *evaluator) {
 	mv := ic.pending
 	ic.pending = nil
 	j := &moveJournal{}
 	ic.journal = j
-
-	// Snapshot the modules a repack may displace: on each touched die, only
-	// the modules sequenced at or after the move's first changed position —
-	// the prefix packs to bit-identical placements (see PackDieFrom), and a
-	// module that left a die reappears in its destination die's suffix.
-	ic.cands = ic.cands[:0]
-	for i, d := range mv.Dies {
-		seq := e.fp.ModulesOnDie(d)
-		start := mv.Starts[i]
-		if start > len(seq) {
-			start = len(seq)
-		}
-		for _, m := range seq[start:] {
-			if !ic.candMark[m] {
-				ic.candMark[m] = true
-				ic.cands = append(ic.cands, m)
-			}
-		}
-	}
-	for _, m := range ic.cands {
-		ic.candMark[m] = false
-		j.mods = append(j.mods, m)
-		j.rects = append(j.rects, ic.lay.Rects[m])
-		j.dies = append(j.dies, ic.lay.DieOf[m])
-	}
+	ic.movedEval = true
 
 	// Partial repack: only the touched dies, each resuming from the move's
 	// first changed sequence position via the cached skyline snapshots.
-	j.moveDies = append(j.moveDies, mv.Dies...)
-	j.moveStarts = append(j.moveStarts, mv.Starts...)
+	// PackDieFromDiff stops as soon as the skyline re-converges with the
+	// pre-move snapshot and reports exactly the modules whose placement
+	// changed — j.mods is that set, not a touched-die population snapshot.
 	if ic.packers == nil {
 		ic.packers = make([]*floorplan.DiePacker, ic.lay.Dies)
 	}
@@ -733,26 +808,27 @@ func (ic *incrState) applyMove(e *evaluator) {
 		if ic.packers[d] == nil {
 			ic.packers[d] = &floorplan.DiePacker{}
 		}
-		e.fp.PackDieFrom(ic.lay, d, mv.Starts[i], ic.packers[d])
+		pd := ic.grabDiff()
+		e.fp.PackDieFromDiff(ic.lay, d, mv.Starts[i], ic.packers[d], pd)
+		j.packDiffs = append(j.packDiffs, pd)
+		j.mods = append(j.mods, pd.Changed...)
+		j.rects = append(j.rects, pd.OldRects...)
+		j.dies = append(j.dies, pd.OldDies...)
+		e.stats.PackDieDiffs++
+		if pd.Converged {
+			e.stats.PackEarlyExits++
+		}
+		e.stats.PackReplayedPositions += pd.Exit - pd.From
 	}
+	e.stats.PackMoves++
+	e.stats.recordPackChanged(len(j.mods))
 	e.stats.DiesRepacked += len(mv.Dies)
 	e.stats.DiesReused += ic.lay.Dies - len(mv.Dies)
-
-	// Diff: modules whose placement actually changed. A skyline prefix
-	// untouched by the move repacks to bit-identical rects, so this set is
-	// typically much smaller than the repacked dies' population.
-	ic.changed = ic.changed[:0]
-	for i, m := range j.mods {
-		if ic.lay.Rects[m] != j.rects[i] || ic.lay.DieOf[m] != j.dies[i] {
-			ic.changed = append(ic.changed, i)
-		}
-	}
 
 	// Accumulate the changed modules into the voltage-assigner dirty set,
 	// journaling the newly marked ones for rollback.
 	if ic.voltDirty != nil {
-		for _, ci := range ic.changed {
-			m := j.mods[ci]
+		for _, m := range j.mods {
 			if !ic.voltDirty[m] {
 				ic.markVoltDirty(m)
 				j.voltAdded = append(j.voltAdded, m)
@@ -767,9 +843,8 @@ func (ic *incrState) applyMove(e *evaluator) {
 	for i := range ic.dieMark {
 		ic.dieMark[i] = false
 	}
-	for _, ci := range ic.changed {
-		m := j.mods[ci]
-		ic.dieMark[j.dies[ci]] = true      // old die
+	for i, m := range j.mods {
+		ic.dieMark[j.dies[i]] = true       // old die
 		ic.dieMark[ic.lay.DieOf[m]] = true // new die
 		for _, ni := range ic.modNets[m] {
 			if ic.netStamp[ni] == ic.stamp {
@@ -932,6 +1007,7 @@ func (ic *incrState) refreshVoltAssignment(e *evaluator, ref *timing.Analysis) *
 	e.stats.VoltCandidatesReused = st.CandidatesReused
 	e.stats.VoltCandidatesRegrown = st.CandidatesRegrown
 	e.stats.AdjFullSweeps = st.AdjFullSweeps
+	e.stats.AdjBulkFallbacks = st.AdjBulkFallbacks
 	e.stats.AdjIncrementalUpdates = st.AdjIncrementalUpdates
 	e.stats.AdjRowsChanged = st.AdjRowsChanged
 	if e.check {

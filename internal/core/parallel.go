@@ -161,4 +161,19 @@ func addEvalStats(dst, src *EvalStats) {
 	if src.MaxCrossCheckError > dst.MaxCrossCheckError {
 		dst.MaxCrossCheckError = src.MaxCrossCheckError
 	}
+	dst.PackMoves += src.PackMoves
+	dst.PackDieDiffs += src.PackDieDiffs
+	dst.PackEarlyExits += src.PackEarlyExits
+	dst.PackReplayedPositions += src.PackReplayedPositions
+	dst.PackChangedModules += src.PackChangedModules
+	if src.PackChangedHist != nil {
+		if dst.PackChangedHist == nil {
+			dst.PackChangedHist = make([]int, len(src.PackChangedHist))
+		}
+		for i, c := range src.PackChangedHist {
+			dst.PackChangedHist[i] += c
+		}
+	}
+	dst.STAGateTrips += src.STAGateTrips
+	dst.AdjBulkFallbacks += src.AdjBulkFallbacks
 }

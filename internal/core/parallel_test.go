@@ -42,7 +42,7 @@ func TestRunReplicasOneIsSerial(t *testing.T) {
 	if !reflect.DeepEqual(stripRuntime(serial), stripRuntime(one)) {
 		t.Fatal("Replicas=1/Speculation=1 diverged from the serial flow")
 	}
-	if one.EvalStats != serial.EvalStats {
+	if !reflect.DeepEqual(one.EvalStats, serial.EvalStats) {
 		t.Fatalf("eval stats diverged:\n got %+v\nwant %+v", one.EvalStats, serial.EvalStats)
 	}
 	if one.EvalStats.Replicas != 0 || one.EvalStats.SpecWorkers != 0 {
@@ -76,7 +76,7 @@ func TestRunReplicasDeterministicAcrossGOMAXPROCS(t *testing.T) {
 		if !reflect.DeepEqual(stripRuntime(ref), stripRuntime(res)) {
 			t.Fatalf("GOMAXPROCS=%d: metrics diverged", procs)
 		}
-		if ref.EvalStats != res.EvalStats {
+		if !reflect.DeepEqual(ref.EvalStats, res.EvalStats) {
 			t.Fatalf("GOMAXPROCS=%d: eval stats diverged:\n got %+v\nwant %+v",
 				procs, res.EvalStats, ref.EvalStats)
 		}
@@ -120,11 +120,14 @@ func TestRunReplicasReportsStats(t *testing.T) {
 
 // TestRunReplicasCrossCheck runs -check-cost inside every replica: each of
 // the K x M evaluators carries its own incremental caches and each is pinned
-// against the full recompute on every move.
+// against the full recompute on every move. The regime (3 replicas, 150
+// iterations) is long enough that speculative batches reject candidates
+// folded with a pending committed-winner replay — the path where a dropped
+// pending move used to leave the cached layout stale on the loser copies.
 func TestRunReplicasCrossCheck(t *testing.T) {
 	des := bench.MustGenerate("n100")
-	cfg := parCfg(TSCAware, 9, 2, 2)
-	cfg.SAIterations = 60
+	cfg := parCfg(TSCAware, 9, 3, 2)
+	cfg.SAIterations = 150
 	cfg.CostCrossCheck = true
 	res, err := Run(des, cfg)
 	if err != nil {

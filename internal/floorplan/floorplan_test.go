@@ -300,3 +300,66 @@ func TestResizeKeepsAreaThroughPack(t *testing.T) {
 		}
 	}
 }
+
+// TestPackDiffResetReuse drives one PackDiff record through many
+// apply/settle/Reset cycles — the evaluator pools the records exactly this
+// way — alternating commits and rollbacks, and requires the diff contract
+// (changed set exact, rollback byte-identical, reused storage never
+// aliasing live state) to hold on every cycle.
+func TestPackDiffResetReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	fp := NewRandom(fuzzDesign(rng), rng)
+	lay := fp.Pack()
+	packers := make([]*DiePacker, lay.Dies)
+	for d := range packers {
+		packers[d] = &DiePacker{}
+	}
+	pd := &PackDiff{}
+	pre := lay.Clone()
+	for cycle := 0; cycle < 60; cycle++ {
+		mv, undo := fp.PerturbMove(rng)
+		copy(pre.Rects, lay.Rects)
+		copy(pre.DieOf, lay.DieOf)
+		// One record reused across the move's dies in sequence, the way a
+		// pooled record cycles through many moves.
+		for i, d := range mv.Dies {
+			pd.Reset()
+			fp.PackDieFromDiff(lay, d, mv.Starts[i], packers[d], pd)
+			for k, m := range pd.Changed {
+				if pd.OldRects[k] != pre.Rects[m] || pd.OldDies[k] != pre.DieOf[m] {
+					t.Fatalf("cycle %d: stale old placement for module %d after Reset reuse", cycle, m)
+				}
+			}
+			if cycle%2 == 0 {
+				pd.Commit()
+				copy(pre.Rects, lay.Rects)
+				copy(pre.DieOf, lay.DieOf)
+			} else {
+				pd.Rollback(lay)
+				for m := range lay.Rects {
+					if lay.Rects[m] != pre.Rects[m] || lay.DieOf[m] != pre.DieOf[m] {
+						t.Fatalf("cycle %d: rollback left module %d displaced", cycle, m)
+					}
+				}
+			}
+		}
+		if cycle%2 == 0 {
+			// Accepted: keep the floorplan mutation, verify against a full
+			// pack.
+			want := fp.Pack()
+			for m := range want.Rects {
+				if lay.Rects[m] != want.Rects[m] || lay.DieOf[m] != want.DieOf[m] {
+					t.Fatalf("cycle %d: accepted layout diverged at module %d", cycle, m)
+				}
+			}
+		} else {
+			undo()
+			want := fp.Pack()
+			for m := range want.Rects {
+				if lay.Rects[m] != want.Rects[m] || lay.DieOf[m] != want.DieOf[m] {
+					t.Fatalf("cycle %d: rejected layout diverged at module %d", cycle, m)
+				}
+			}
+		}
+	}
+}

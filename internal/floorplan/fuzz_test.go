@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/geom"
 	"repro/internal/netlist"
 )
 
@@ -44,6 +45,13 @@ func fuzzDesign(rng *rand.Rand) *netlist.Design {
 // layout to stay bit-identical to a from-scratch Pack after every event —
 // the exact contract the annealing loop's incremental evaluator builds on.
 //
+// A second layout is maintained in lockstep through PackDieFromDiff and
+// checks the exact-diff contract on every event: the returned changed set
+// must equal a brute-force placement compare against the pre-move layout
+// (so the early-exited suffix is byte-identical by the same compare), and
+// PackDiff.Rollback must restore both the layout and the packer state
+// byte-exactly on rejected moves — no Invalidate, no replay.
+//
 // The script bytes steer the protocol per move: bit 0 rejects the move after
 // the partial repack (undo + invalidate + repack, the journal-rollback
 // path), bit 1 undoes it before any repack (the undo-before-Cost path).
@@ -53,6 +61,7 @@ func FuzzPackDieFrom(f *testing.F) {
 	f.Add(int64(7), []byte{0x01, 0x01, 0x01, 0x01, 0x01, 0x01})
 	f.Add(int64(42), []byte{0x02, 0x00, 0x02, 0x01, 0x03, 0x00, 0x01})
 	f.Add(int64(-3), []byte("\xff\x00\xaa\x55packer"))
+	f.Add(int64(9001), []byte{0x00, 0x01, 0x00, 0x01, 0x02, 0x00, 0x01, 0x00, 0x00, 0x01, 0x03, 0x00, 0x01, 0x00, 0x01, 0x00})
 	f.Fuzz(func(t *testing.T, seed int64, script []byte) {
 		if len(script) > 64 {
 			script = script[:64]
@@ -61,9 +70,12 @@ func FuzzPackDieFrom(f *testing.F) {
 		des := fuzzDesign(rng)
 		fp := NewRandom(des, rng)
 		lay := fp.Pack()
+		dlay := fp.Pack() // diff-path layout, maintained via PackDieFromDiff
 		packers := make([]*DiePacker, des.Dies)
+		dpackers := make([]*DiePacker, des.Dies)
 		for d := range packers {
 			packers[d] = &DiePacker{}
+			dpackers[d] = &DiePacker{}
 		}
 		repack := func(mv Move) {
 			for i, d := range mv.Dies {
@@ -75,6 +87,30 @@ func FuzzPackDieFrom(f *testing.F) {
 				packers[d].Invalidate(mv.Starts[i])
 			}
 		}
+		// Pre-move placement snapshot for the brute-force diff compare.
+		preRects := make([]geom.Rect, len(dlay.Rects))
+		preDies := make([]int, len(dlay.DieOf))
+		diffs := make([]*PackDiff, 0, 2)
+		repackDiff := func(mv Move) {
+			copy(preRects, dlay.Rects)
+			copy(preDies, dlay.DieOf)
+			diffs = diffs[:0]
+			for i, d := range mv.Dies {
+				pd := &PackDiff{}
+				fp.PackDieFromDiff(dlay, d, mv.Starts[i], dpackers[d], pd)
+				diffs = append(diffs, pd)
+			}
+		}
+		rollbackDiff := func() {
+			for i := len(diffs) - 1; i >= 0; i-- {
+				diffs[i].Rollback(dlay)
+			}
+		}
+		commitDiff := func() {
+			for _, pd := range diffs {
+				pd.Commit()
+			}
+		}
 		check := func(step int, what string) {
 			t.Helper()
 			want := fp.Pack()
@@ -82,6 +118,37 @@ func FuzzPackDieFrom(f *testing.F) {
 				if lay.Rects[m] != want.Rects[m] || lay.DieOf[m] != want.DieOf[m] {
 					t.Fatalf("step %d (%s): module %d incremental %+v/die%d != full %+v/die%d",
 						step, what, m, lay.Rects[m], lay.DieOf[m], want.Rects[m], want.DieOf[m])
+				}
+				if dlay.Rects[m] != want.Rects[m] || dlay.DieOf[m] != want.DieOf[m] {
+					t.Fatalf("step %d (%s): module %d diff-path %+v/die%d != full %+v/die%d",
+						step, what, m, dlay.Rects[m], dlay.DieOf[m], want.Rects[m], want.DieOf[m])
+				}
+			}
+		}
+		// checkDiffExact pins each PackDiff's changed set against a
+		// brute-force compare of dlay vs the pre-move snapshot: every
+		// reported module really changed, every real change is reported,
+		// and no module is reported twice.
+		checkDiffExact := func(step int) {
+			t.Helper()
+			reported := make(map[int]bool)
+			for _, pd := range diffs {
+				for k, m := range pd.Changed {
+					if reported[m] {
+						t.Fatalf("step %d: module %d reported changed twice", step, m)
+					}
+					reported[m] = true
+					if pd.OldRects[k] != preRects[m] || pd.OldDies[k] != preDies[m] {
+						t.Fatalf("step %d: module %d old placement %+v/die%d != pre-move %+v/die%d",
+							step, m, pd.OldRects[k], pd.OldDies[k], preRects[m], preDies[m])
+					}
+				}
+			}
+			for m := range dlay.Rects {
+				changed := dlay.Rects[m] != preRects[m] || dlay.DieOf[m] != preDies[m]
+				if changed != reported[m] {
+					t.Fatalf("step %d: module %d brute-force changed=%v but reported=%v",
+						step, m, changed, reported[m])
 				}
 			}
 		}
@@ -98,15 +165,26 @@ func FuzzPackDieFrom(f *testing.F) {
 				continue
 			}
 			repack(mv)
+			repackDiff(mv)
+			checkDiffExact(step)
 			check(step, "apply")
 			if b&1 != 0 {
-				// Rejection: undo, drop the snapshots past the move's resume
-				// points, repack the same dies — geometry must revert bit for
-				// bit.
+				// Rejection: the legacy path undoes, drops the snapshots past
+				// the move's resume points, and repacks; the diff path rolls
+				// the journal back instead — both must revert bit for bit.
 				undo()
 				invalidate(mv)
 				repack(mv)
+				rollbackDiff()
+				for m := range dlay.Rects {
+					if dlay.Rects[m] != preRects[m] || dlay.DieOf[m] != preDies[m] {
+						t.Fatalf("step %d: rollback left module %d at %+v/die%d, want %+v/die%d",
+							step, m, dlay.Rects[m], dlay.DieOf[m], preRects[m], preDies[m])
+					}
+				}
 				check(step, "reject")
+			} else {
+				commitDiff()
 			}
 		}
 		if !fp.CheckInvariants() {

@@ -111,9 +111,13 @@ type AssignerStats struct {
 	// to the bulk sweep-plus-diff path at high churn. AdjIncrementalUpdates
 	// counts refreshes served by the index's per-module probes. The index
 	// paths together reported AdjRowsChanged changed neighbour rows.
+	// AdjBulkFallbacks counts only the high-churn index fallbacks (a subset
+	// of AdjFullSweeps) — the gate trips the packer diff contract is meant
+	// to avoid.
 	AdjFullSweeps         int
 	AdjIncrementalUpdates int
 	AdjRowsChanged        int
+	AdjBulkFallbacks      int
 }
 
 // NewAssigner returns an empty engine; the first Assign or Refresh builds
@@ -240,6 +244,7 @@ func (a *Assigner) Refresh(l *floorplan.Layout, ref *timing.Analysis, dirtyMods 
 				// The index fell back to its sweep-plus-diff path: count it
 				// as a full sweep so the telemetry separates the regimes.
 				a.stats.AdjFullSweeps++
+				a.stats.AdjBulkFallbacks++
 			} else {
 				a.stats.AdjIncrementalUpdates++
 			}

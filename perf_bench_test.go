@@ -105,6 +105,19 @@ func BenchmarkAnnealLoop(b *testing.B) {
 					b.ReportMetric(float64(st.STACritRescans)/
 						float64(st.STAPatches), "sta_crit_rescan_frac")
 				}
+				// Churn report: how exact the diff packer's changed sets
+				// are at the default knobs, and how often the downstream
+				// engines' churn gates still trip into their fallbacks.
+				if st.PackMoves > 0 {
+					b.ReportMetric(float64(st.PackChangedPercentile(0.50)), "pack_changed_p50")
+					b.ReportMetric(float64(st.PackChangedPercentile(0.95)), "pack_changed_p95")
+					b.ReportMetric(float64(st.STAGateTrips)/float64(st.PackMoves), "sta_gate_trip_frac")
+					b.ReportMetric(float64(st.AdjBulkFallbacks)/float64(st.PackMoves), "adj_bulk_fallback_frac")
+				}
+				if st.PackDieDiffs > 0 {
+					b.ReportMetric(float64(st.PackEarlyExits)/float64(st.PackDieDiffs), "pack_early_exit_frac")
+					b.ReportMetric(float64(st.PackReplayedPositions)/float64(st.PackDieDiffs), "pack_replayed/diff")
+				}
 			})
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -35,6 +36,46 @@ type snapshot struct {
 }
 
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// compare writes one line per benchmark and returns the number of rows that
+// regressed beyond the tolerance. Rows present in only one snapshot are
+// skipped with a logged notice — never a failure — so new benchmarks can
+// land without a baseline and retired ones can drop out without breaking
+// the gate.
+func compare(w io.Writer, oldRows, newRows map[string]float64, tolerance float64) int {
+	names := make([]string, 0, len(oldRows))
+	for name := range oldRows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, name := range names {
+		oldNs := oldRows[name]
+		newNs, ok := newRows[name]
+		if !ok {
+			fmt.Fprintf(w, "  MISSING  %-60s (in baseline only, skipped)\n", name)
+			continue
+		}
+		delta := (newNs - oldNs) / oldNs
+		mark := "ok"
+		if delta > tolerance {
+			mark = "REGRESSED"
+			regressions++
+		}
+		fmt.Fprintf(w, "  %-9s %-60s %12.0f -> %12.0f ns/op (%+.1f%%)\n", mark, name, oldNs, newNs, delta*100)
+	}
+	names = names[:0]
+	for name := range newRows {
+		if _, ok := oldRows[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "  NEW      %-60s %12.0f ns/op (no baseline, skipped)\n", name, newRows[name])
+	}
+	return regressions
+}
 
 func load(path string, filter *regexp.Regexp) (snapshot, map[string]float64, error) {
 	var s snapshot
@@ -85,32 +126,7 @@ func main() {
 		oldSnap.Meta.GitRev, oldSnap.Meta.Nproc, newSnap.Meta.GitRev, newSnap.Meta.Nproc,
 		*filterStr, *tolerance*100)
 
-	names := make([]string, 0, len(oldRows))
-	for name := range oldRows {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	regressions := 0
-	for _, name := range names {
-		oldNs := oldRows[name]
-		newNs, ok := newRows[name]
-		if !ok {
-			fmt.Printf("  MISSING  %-60s (in baseline only)\n", name)
-			continue
-		}
-		delta := (newNs - oldNs) / oldNs
-		mark := "ok"
-		if delta > *tolerance {
-			mark = "REGRESSED"
-			regressions++
-		}
-		fmt.Printf("  %-9s %-60s %12.0f -> %12.0f ns/op (%+.1f%%)\n", mark, name, oldNs, newNs, delta*100)
-	}
-	for name := range newRows {
-		if _, ok := oldRows[name]; !ok {
-			fmt.Printf("  NEW      %-60s %12.0f ns/op (no baseline)\n", name, newRows[name])
-		}
-	}
+	regressions := compare(os.Stdout, oldRows, newRows, *tolerance)
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond +%.0f%%\n",
 			regressions, *tolerance*100)

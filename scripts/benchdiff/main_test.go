@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCompareSkipsOneSidedRows pins the gate's skip contract: benchmarks
+// present in only one snapshot are reported with a notice but never counted
+// as regressions, while shared rows still gate on the tolerance.
+func TestCompareSkipsOneSidedRows(t *testing.T) {
+	oldRows := map[string]float64{
+		"BenchmarkAnnealLoop/n100":  100,
+		"BenchmarkRetired":          50,
+		"BenchmarkDetailedSolve/ok": 200,
+	}
+	newRows := map[string]float64{
+		"BenchmarkAnnealLoop/n100":  125, // +25% — beyond the 10% tolerance
+		"BenchmarkDetailedSolve/ok": 205, // +2.5% — within tolerance
+		"BenchmarkFreshlyAdded":     70,  // no baseline
+	}
+	var buf strings.Builder
+	regressions := compare(&buf, oldRows, newRows, 0.10)
+	out := buf.String()
+	if regressions != 1 {
+		t.Fatalf("want exactly the +25%% row to regress, got %d\n%s", regressions, out)
+	}
+	for _, want := range []string{
+		"REGRESSED BenchmarkAnnealLoop/n100",
+		"ok        BenchmarkDetailedSolve/ok",
+		"MISSING  BenchmarkRetired",
+		"NEW      BenchmarkFreshlyAdded",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "(in baseline only, skipped)") ||
+		!strings.Contains(out, "(no baseline, skipped)") {
+		t.Errorf("one-sided rows not marked as skipped:\n%s", out)
+	}
+}
+
+// TestCompareEmptyIntersection is the degenerate skip path: two snapshots
+// with no benchmark in common produce notices only and pass the gate.
+func TestCompareEmptyIntersection(t *testing.T) {
+	var buf strings.Builder
+	regressions := compare(&buf,
+		map[string]float64{"BenchmarkOld": 10},
+		map[string]float64{"BenchmarkNew": 20}, 0.10)
+	if regressions != 0 {
+		t.Fatalf("disjoint snapshots must not regress, got %d\n%s", regressions, buf.String())
+	}
+	if !strings.Contains(buf.String(), "MISSING") || !strings.Contains(buf.String(), "NEW") {
+		t.Fatalf("disjoint snapshots must log both notices:\n%s", buf.String())
+	}
+}

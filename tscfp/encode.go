@@ -129,6 +129,30 @@ type RunStats struct {
 	SpecBatches   int `json:"spec_batches,omitempty"`
 	SpecCommits   int `json:"spec_commits,omitempty"`
 	SpecDiscarded int `json:"spec_discarded,omitempty"`
+	// The pack_* churn counters describe the exact-diff repack contract
+	// (WithChurnStats; omitted otherwise so default encodings stay
+	// byte-identical). PackMoves counts moves evaluated through the
+	// diff-producing packer, PackDieDiffs the per-die diffs they ran,
+	// PackEarlyExits the diffs that stopped at skyline re-convergence
+	// before the die's end, and PackReplayedPositions the sequence
+	// positions actually re-placed. PackChangedModules totals the modules
+	// whose placement a move really changed — the exact dirty set every
+	// downstream cache consumes — with PackChangedP50/P95 the per-move
+	// distribution's percentiles. STAGateTrips counts moves whose changed
+	// nets overflowed the timing caches' patch budget (falling back to
+	// invalidation), AdjBulkFallbacks adjacency-index updates that fell
+	// back to the bulk sweep-plus-diff path; both fallbacks are rare under
+	// the exact contract and were the norm under the old pessimistic
+	// suffix diff.
+	PackMoves             int `json:"pack_moves,omitempty"`
+	PackDieDiffs          int `json:"pack_die_diffs,omitempty"`
+	PackEarlyExits        int `json:"pack_early_exits,omitempty"`
+	PackReplayedPositions int `json:"pack_replayed_positions,omitempty"`
+	PackChangedModules    int `json:"pack_changed_modules,omitempty"`
+	PackChangedP50        int `json:"pack_changed_p50,omitempty"`
+	PackChangedP95        int `json:"pack_changed_p95,omitempty"`
+	STAGateTrips          int `json:"sta_gate_trips,omitempty"`
+	AdjBulkFallbacks      int `json:"adj_bulk_fallbacks,omitempty"`
 }
 
 // PlacedModule is one module of the final layout.

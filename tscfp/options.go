@@ -111,6 +111,7 @@ type settings struct {
 	weights     *Weights
 	progress    func(Event)
 	parSet      bool // WithParallelism was given explicitly
+	churnStats  bool // WithChurnStats: surface pack_* churn counters
 	err         error
 }
 
@@ -459,4 +460,15 @@ func WithIncrementalSTA(enabled bool) Option {
 // It has no effect when WithIncrementalCost(false) is set.
 func WithCostCrossCheck(enabled bool) Option {
 	return func(s *settings) { s.cfg.CostCrossCheck = enabled }
+}
+
+// WithChurnStats surfaces the exact-diff repack churn counters in
+// Result.Stats: the pack_* fields (moves through the diff packer, per-die
+// diffs, early exits, replayed positions, changed-module totals and p50/p95
+// per move) plus the sta_gate_trips and adj_bulk_fallbacks fallback-path
+// counters. The counters are always collected; this knob only controls
+// whether they appear on the wire, so the default JSON encoding stays
+// byte-identical to earlier releases. Default off.
+func WithChurnStats(enabled bool) Option {
+	return func(s *settings) { s.churnStats = enabled }
 }

@@ -21,6 +21,9 @@ type Flow struct {
 	// parSet records an explicit WithParallelism; Sweep respects it when
 	// defaulting pooled cells to serial per-run parallelism.
 	parSet bool
+	// churn surfaces the pack_* churn counters in Result.Stats
+	// (WithChurnStats).
+	churn bool
 }
 
 // NewFlow binds a design to a set of options. Option validation happens
@@ -50,7 +53,7 @@ func NewFlow(design *Design, opts ...Option) (*Flow, error) {
 		w := core.Weights(*s.weights)
 		cfg.Weights = &w
 	}
-	return &Flow{design: design, mode: s.mode, cfg: cfg, progress: s.progress, parSet: s.parSet}, nil
+	return &Flow{design: design, mode: s.mode, cfg: cfg, progress: s.progress, parSet: s.parSet, churn: s.churnStats}, nil
 }
 
 // Mode returns the flow's configured mode.
@@ -77,7 +80,7 @@ func (f *Flow) Run(ctx context.Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newResult(res, f.mode, f.cfg.Seed), nil
+	return newResult(res, f.mode, f.cfg.Seed, f.churn), nil
 }
 
 // Run is the one-call convenience wrapper: NewFlow + Flow.Run.
@@ -91,7 +94,7 @@ func Run(ctx context.Context, design *Design, opts ...Option) (*Result, error) {
 
 // newResult snapshots a completed internal run into the public, JSON-stable
 // Result shape.
-func newResult(res *core.Result, mode Mode, seed int64) *Result {
+func newResult(res *core.Result, mode Mode, seed int64, churn bool) *Result {
 	r := &Result{
 		Benchmark: res.Design.Name,
 		Mode:      mode,
@@ -142,6 +145,17 @@ func newResult(res *core.Result, mode Mode, seed int64) *Result {
 			SpecDiscarded:            res.EvalStats.SpecDiscarded,
 		},
 		raw: res,
+	}
+	if churn {
+		r.Stats.PackMoves = res.EvalStats.PackMoves
+		r.Stats.PackDieDiffs = res.EvalStats.PackDieDiffs
+		r.Stats.PackEarlyExits = res.EvalStats.PackEarlyExits
+		r.Stats.PackReplayedPositions = res.EvalStats.PackReplayedPositions
+		r.Stats.PackChangedModules = res.EvalStats.PackChangedModules
+		r.Stats.PackChangedP50 = res.EvalStats.PackChangedPercentile(0.50)
+		r.Stats.PackChangedP95 = res.EvalStats.PackChangedPercentile(0.95)
+		r.Stats.STAGateTrips = res.EvalStats.STAGateTrips
+		r.Stats.AdjBulkFallbacks = res.EvalStats.AdjBulkFallbacks
 	}
 	for mi, m := range res.Design.Modules {
 		rect := res.Layout.Rects[mi]
