@@ -8,11 +8,25 @@
 // Configuration is flags-first with env fallbacks (flag wins), so the same
 // binary runs standalone or as a k8s Deployment:
 //
-//	-addr          TSCFPD_ADDR, or ":"+PORT     listen address (default :8080)
-//	-workers       TSCFPD_WORKERS               job worker pool size (default GOMAXPROCS)
-//	-queue         TSCFPD_QUEUE                 admission queue bound (default 256)
-//	-max-body      TSCFPD_MAX_BODY              submission body cap in bytes (default 8 MiB)
-//	-drain-timeout TSCFPD_DRAIN_TIMEOUT         grace for in-flight jobs on SIGTERM (default 30s)
+//	-addr            TSCFPD_ADDR, or ":"+PORT     listen address (default :8080)
+//	-workers         TSCFPD_WORKERS               job worker pool size (default GOMAXPROCS)
+//	-queue           TSCFPD_QUEUE                 admission queue bound (default 256)
+//	-max-body        TSCFPD_MAX_BODY              submission body cap in bytes (default 8 MiB)
+//	-drain-timeout   TSCFPD_DRAIN_TIMEOUT         grace for in-flight jobs on SIGTERM (default 30s)
+//	-data-dir        TSCFPD_DATA_DIR              durable artifact registry directory
+//	                                              (default "": ephemeral in-memory store)
+//	-max-store-bytes TSCFPD_MAX_STORE_BYTES       on-disk artifact payload bound (0 = unbounded)
+//	-max-cache-bytes TSCFPD_MAX_CACHE_BYTES       in-RAM payload cache bound (default 64 MiB)
+//	-retention       TSCFPD_RETENTION             evict artifacts / terminal job records idle
+//	                                              longer than this (0 = keep)
+//	-max-jobs        TSCFPD_MAX_JOBS              job table bound, terminal records GC'd
+//	                                              oldest-first (default 4096)
+//
+// With -data-dir set, every artifact (results, sweep manifests) is written
+// atomically under its content address with a lineage sidecar; a restarted
+// daemon rescans the directory, quarantines corrupt files, and serves prior
+// results as dedupe hits — byte-identical, original lineage, no recompute.
+// Without it the store is in-memory and lost on exit.
 //
 // SIGTERM/SIGINT trigger graceful drain: /readyz flips to 503, admission
 // stops, in-flight jobs get the drain timeout to finish before their
@@ -20,7 +34,7 @@
 //
 // Quick start:
 //
-//	tscfpd &
+//	tscfpd -data-dir /var/lib/tscfpd &
 //	curl -s localhost:8080/v1/jobs -d '{"benchmark":"n100","options":{"seed":1,"iterations":500}}'
 //	curl -N localhost:8080/v1/jobs/j-000001/events     # follow SSE progress
 //	curl -s localhost:8080/v1/jobs/j-000001/result     # fetch the Result JSON
@@ -39,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/registry"
 	"repro/internal/server"
 	"repro/internal/version"
 )
@@ -53,6 +68,11 @@ func main() {
 		queueCap     = flag.Int("queue", envInt("TSCFPD_QUEUE", 256), "admission queue bound (queued jobs)")
 		maxBody      = flag.Int64("max-body", envInt64("TSCFPD_MAX_BODY", 8<<20), "max submission body size in bytes")
 		drainTimeout = flag.Duration("drain-timeout", envDuration("TSCFPD_DRAIN_TIMEOUT", 30*time.Second), "grace period for in-flight jobs on shutdown")
+		dataDir      = flag.String("data-dir", envStr("TSCFPD_DATA_DIR", ""), "durable artifact registry directory (empty = ephemeral in-memory store)")
+		maxStore     = flag.Int64("max-store-bytes", envInt64("TSCFPD_MAX_STORE_BYTES", 0), "on-disk artifact payload bound (0 = unbounded)")
+		maxCache     = flag.Int64("max-cache-bytes", envInt64("TSCFPD_MAX_CACHE_BYTES", 64<<20), "in-RAM artifact payload cache bound")
+		retention    = flag.Duration("retention", envDuration("TSCFPD_RETENTION", 0), "evict artifacts and terminal job records idle longer than this (0 = keep)")
+		maxJobs      = flag.Int("max-jobs", envInt("TSCFPD_MAX_JOBS", 4096), "job table bound (terminal records GC'd oldest-first)")
 		showVersion  = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -61,16 +81,59 @@ func main() {
 		return
 	}
 
+	var store server.Store
+	var reg *registry.Registry
+	if *dataDir != "" {
+		var err error
+		reg, err = registry.Open(registry.Config{
+			Dir:           *dataDir,
+			MaxStoreBytes: *maxStore,
+			MaxCacheBytes: *maxCache,
+			MaxAge:        *retention,
+		})
+		if err != nil {
+			log.Fatalf("open registry: %v", err)
+		}
+		st := reg.Stats()
+		log.Printf("registry %s: %d artifacts (%d bytes) rebuilt, %d quarantined",
+			*dataDir, st.Artifacts, st.DiskBytes, st.Quarantined)
+		store = reg
+	} else {
+		log.Print("no -data-dir: artifact store is in-memory and lost on exit")
+	}
+
 	srv := server.New(server.Config{
 		Workers:      *workers,
 		QueueCap:     *queueCap,
 		MaxBodyBytes: *maxBody,
+		Store:        store,
+		MaxJobs:      *maxJobs,
+		JobRetention: *retention,
 	})
 	srv.Start()
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Periodic retention sweep, so an idle daemon still ages artifacts and
+	// terminal job records out (Put and register enforce the bounds on every
+	// write; this covers the no-traffic case).
+	if reg != nil && *retention > 0 {
+		go func() {
+			t := time.NewTicker(time.Minute)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					reg.EnforceRetention()
+					srv.GC()
+				}
+			}
+		}()
+	}
 
 	drained := make(chan struct{})
 	go func() {

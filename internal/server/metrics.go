@@ -7,42 +7,48 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/registry"
 	"repro/tscfp"
 )
 
-// registry is the daemon's metrics surface behind GET /metrics, rendered in
-// the Prometheus text exposition format (counters and gauges only, no
-// client library dependency). Stage latency is observed from the flow's own
-// progress events: a stage's duration is the wall time between its first
-// event and the first event of the next stage.
-type registry struct {
+// metrics is the daemon's observability surface behind GET /metrics,
+// rendered in the Prometheus text exposition format (counters and gauges
+// only, no client library dependency). Stage latency is observed from the
+// flow's own progress events: a stage's duration is the wall time between
+// its first event and the first event of the next stage. Store gauges come
+// from the artifact registry's own counters (disk bytes, cache hit ratio,
+// evictions, quarantine/rescan counts).
+type metrics struct {
 	mu sync.Mutex
 
-	submitted int // admitted jobs, including deduped ones
-	deduped   int // submissions served from the store without running
-	rejected  int // submissions refused (queue full or draining)
-	running   int
-	completed int
-	failed    int
-	cancelled int
+	submitted    int // admitted jobs, including deduped ones
+	deduped      int // submissions served from the store without running
+	rejected     int // submissions refused (queue full or draining)
+	running      int
+	completed    int
+	failed       int
+	cancelled    int
+	cellsDeduped int // sweep cells served from the store (job-level dedupe aside)
+	writeErrors  int // response/SSE writes that failed (dead clients)
+	jobsGCed     int // terminal job records pruned from the job table
 
 	stageCount   map[string]int
 	stageSeconds map[string]float64
 
 	queueDepth func() int
-	storeSize  func() int
+	storeStats func() registry.Stats
 }
 
-func newRegistry(queueDepth, storeSize func() int) *registry {
-	return &registry{
+func newMetrics(queueDepth func() int, storeStats func() registry.Stats) *metrics {
+	return &metrics{
 		stageCount:   make(map[string]int),
 		stageSeconds: make(map[string]float64),
 		queueDepth:   queueDepth,
-		storeSize:    storeSize,
+		storeStats:   storeStats,
 	}
 }
 
-func (m *registry) jobSubmitted(deduped bool) {
+func (m *metrics) jobSubmitted(deduped bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.submitted++
@@ -51,13 +57,13 @@ func (m *registry) jobSubmitted(deduped bool) {
 	}
 }
 
-func (m *registry) jobRejected() {
+func (m *metrics) jobRejected() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.rejected++
 }
 
-func (m *registry) jobStarted() {
+func (m *metrics) jobStarted() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.running++
@@ -65,13 +71,13 @@ func (m *registry) jobStarted() {
 
 // jobCancelledQueued counts a job cancelled before any worker claimed it
 // (it never contributed to the running gauge).
-func (m *registry) jobCancelledQueued() {
+func (m *metrics) jobCancelledQueued() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.cancelled++
 }
 
-func (m *registry) jobFinished(state State) {
+func (m *metrics) jobFinished(state State) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.running--
@@ -85,20 +91,49 @@ func (m *registry) jobFinished(state State) {
 	}
 }
 
-func (m *registry) observeStage(stage string, d time.Duration) {
+// cellDeduped counts one sweep cell served from the store.
+func (m *metrics) cellDeduped() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cellsDeduped++
+}
+
+// writeError counts a failed client write (JSON response or SSE frame).
+func (m *metrics) writeError() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.writeErrors++
+}
+
+// jobsCollected counts terminal job records pruned by the job-table GC.
+func (m *metrics) jobsCollected(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsGCed += n
+}
+
+func (m *metrics) observeStage(stage string, d time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.stageCount[stage]++
 	m.stageSeconds[stage] += d.Seconds()
 }
 
-// handler renders the registry.
-func (m *registry) handler(w http.ResponseWriter, _ *http.Request) {
+// handler renders the metrics.
+func (m *metrics) handler(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	st := m.storeStats()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	fmt.Fprintf(w, "tscfpd_queue_depth %d\n", m.queueDepth())
-	fmt.Fprintf(w, "tscfpd_store_artifacts %d\n", m.storeSize())
+	fmt.Fprintf(w, "tscfpd_store_artifacts %d\n", st.Artifacts)
+	fmt.Fprintf(w, "tscfpd_store_disk_bytes %d\n", st.DiskBytes)
+	fmt.Fprintf(w, "tscfpd_store_cache_bytes %d\n", st.CacheBytes)
+	fmt.Fprintf(w, "tscfpd_store_cache_hits_total %d\n", st.CacheHits)
+	fmt.Fprintf(w, "tscfpd_store_cache_misses_total %d\n", st.CacheMisses)
+	fmt.Fprintf(w, "tscfpd_store_evictions_total %d\n", st.Evictions)
+	fmt.Fprintf(w, "tscfpd_store_quarantined_total %d\n", st.Quarantined)
+	fmt.Fprintf(w, "tscfpd_store_rescanned_total %d\n", st.Rescanned)
 	fmt.Fprintf(w, "tscfpd_jobs_running %d\n", m.running)
 	fmt.Fprintf(w, "tscfpd_jobs_submitted_total %d\n", m.submitted)
 	fmt.Fprintf(w, "tscfpd_jobs_deduped_total %d\n", m.deduped)
@@ -106,6 +141,9 @@ func (m *registry) handler(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "tscfpd_jobs_completed_total %d\n", m.completed)
 	fmt.Fprintf(w, "tscfpd_jobs_failed_total %d\n", m.failed)
 	fmt.Fprintf(w, "tscfpd_jobs_cancelled_total %d\n", m.cancelled)
+	fmt.Fprintf(w, "tscfpd_jobs_gced_total %d\n", m.jobsGCed)
+	fmt.Fprintf(w, "tscfpd_sweep_cells_deduped_total %d\n", m.cellsDeduped)
+	fmt.Fprintf(w, "tscfpd_write_errors_total %d\n", m.writeErrors)
 	stages := make([]string, 0, len(m.stageCount))
 	for s := range m.stageCount {
 		stages = append(stages, s)
@@ -121,12 +159,12 @@ func (m *registry) handler(w http.ResponseWriter, _ *http.Request) {
 // observations. It runs on the flow goroutine (WithProgress is synchronous)
 // so it needs no locking of its own.
 type stageTimer struct {
-	reg     *registry
+	reg     *metrics
 	stage   tscfp.Stage
 	started time.Time
 }
 
-func newStageTimer(reg *registry) *stageTimer {
+func newStageTimer(reg *metrics) *stageTimer {
 	return &stageTimer{reg: reg}
 }
 

@@ -107,22 +107,25 @@ func TestQueueCloseWakesBlockedPop(t *testing.T) {
 // TestStoreFirstWriterWins pins dedupe lineage: a second put under the same
 // ID keeps the original artifact and reports it existed.
 func TestStoreFirstWriterWins(t *testing.T) {
-	s := newStore()
-	a, existed := s.put("k", []byte("one"), "j-1")
-	if existed || a.JobID != "j-1" {
-		t.Fatalf("first put = %+v existed=%v", a, existed)
+	s := newMemStore()
+	a, existed, err := s.Put("k", []byte("one"), "j-1", 1)
+	if err != nil || existed || a.JobID != "j-1" {
+		t.Fatalf("first put = %+v existed=%v err=%v", a, existed, err)
 	}
-	b, existed := s.put("k", []byte("two"), "j-2")
-	if !existed || b.JobID != "j-1" {
-		t.Fatalf("second put = %+v existed=%v, want original kept", b, existed)
+	b, existed, err := s.Put("k", []byte("two"), "j-2", 2)
+	if err != nil || !existed || b.JobID != "j-1" {
+		t.Fatalf("second put = %+v existed=%v err=%v, want original kept", b, existed, err)
 	}
-	if data, _ := s.get("k"); string(data) != "one" {
+	if data, _ := s.Get("k"); string(data) != "one" {
 		t.Fatalf("payload = %q, want first writer's", data)
 	}
-	if s.hit("k") == nil || s.lookup("k").Hits != 1 {
+	if _, ok := s.Hit("k"); !ok {
+		t.Fatal("hit on stored key missed")
+	}
+	if a, _ := s.Lookup("k"); a.Hits != 1 {
 		t.Fatal("hit accounting broken")
 	}
-	if s.hit("missing") != nil {
+	if _, ok := s.Hit("missing"); ok {
 		t.Fatal("hit on missing key returned an artifact")
 	}
 }

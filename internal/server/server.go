@@ -3,23 +3,25 @@
 // submissions (single runs and sweep grids), executes them on a bounded
 // worker pool with a priority queue, streams per-stage progress as
 // server-sent events, and dedupes identical submissions through a
-// content-addressed result store.
+// content-addressed artifact registry.
 //
 // The serving shape is a stateless single binary: configuration arrives via
 // flags/env, health and readiness live at /healthz and /readyz, metrics at
-// /metrics, and the only state (the job table and result store) is
-// in-memory and rebuildable, so the same binary runs standalone or as a
-// replicated k8s Deployment. SIGTERM maps to Drain: readiness flips,
-// admission stops, and in-flight work finishes or is cancelled within a
-// deadline.
+// /metrics, and local state is rebuildable, never irreplaceable. The job
+// table is in-memory and GC-bounded (terminal records beyond MaxJobs or
+// older than JobRetention are pruned); the artifact store is pluggable — a
+// disk-backed registry (internal/registry) survives restarts with bounded
+// RAM, the in-memory fallback serves zero-config runs. SIGTERM maps to
+// Drain: readiness flips, admission stops, and in-flight work finishes or
+// is cancelled within a deadline.
 //
 // REST surface:
 //
 //	POST   /v1/jobs             submit a job (201; 200 on a dedupe hit)
-//	GET    /v1/jobs             list jobs (?state= filters)
+//	GET    /v1/jobs             list jobs (?state= filters, ?limit=/?offset= paginate)
 //	GET    /v1/jobs/{id}        job status
 //	DELETE /v1/jobs/{id}        cancel (idempotent)
-//	GET    /v1/jobs/{id}/events SSE progress stream
+//	GET    /v1/jobs/{id}/events SSE progress stream (keep-alive comments when idle)
 //	GET    /v1/jobs/{id}/result the job's result payload
 //	GET    /v1/artifacts/{id}   a stored artifact by content address
 //	GET    /healthz, /readyz, /metrics
@@ -33,6 +35,7 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,6 +52,20 @@ type Config struct {
 	QueueCap int
 	// MaxBodyBytes caps a submission body; <1 selects 8 MiB.
 	MaxBodyBytes int64
+	// Store is the artifact registry. nil selects the ephemeral in-memory
+	// store; pass a *registry.Registry for durable, bounded serving.
+	Store Store
+	// MaxJobs bounds the job table: when the table grows past it, terminal
+	// job records are pruned oldest-first (running and queued jobs are
+	// never pruned). <1 selects 4096.
+	MaxJobs int
+	// JobRetention prunes terminal job records that finished longer ago
+	// than this, regardless of count. 0 keeps them until MaxJobs evicts.
+	JobRetention time.Duration
+	// SSEKeepAlive is the interval between ": keepalive" comment frames on
+	// idle event streams, so LB/proxy idle timeouts do not sever them.
+	// <=0 selects 15s.
+	SSEKeepAlive time.Duration
 }
 
 // Server is one tscfpd instance. Create with New, mount Handler, call
@@ -57,15 +74,15 @@ type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
 	queue   *queue
-	store   *store
-	metrics *registry
+	store   Store
+	metrics *metrics
 
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
 
 	mu    sync.Mutex
 	jobs  map[string]*job
-	order []*job // submission order, for listing
+	order []*job // submission order, for listing and oldest-first GC
 	seq   uint64
 
 	draining atomic.Bool
@@ -84,17 +101,30 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes < 1 {
 		cfg.MaxBodyBytes = 8 << 20
 	}
+	if cfg.Store == nil {
+		cfg.Store = newMemStore()
+	}
+	if cfg.MaxJobs < 1 {
+		cfg.MaxJobs = 4096
+	}
+	if cfg.SSEKeepAlive <= 0 {
+		cfg.SSEKeepAlive = 15 * time.Second
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:       cfg,
 		mux:       http.NewServeMux(),
 		queue:     newQueue(cfg.QueueCap),
-		store:     newStore(),
+		store:     cfg.Store,
 		jobs:      make(map[string]*job),
 		baseCtx:   ctx,
 		cancelAll: cancel,
+		// Seed job IDs above every ID recorded in stored lineage, so a
+		// restarted daemon never reuses the ID an on-disk artifact already
+		// names as its producer.
+		seq: cfg.Store.LastJobSeq(),
 	}
-	s.metrics = newRegistry(s.queue.depth, s.store.size)
+	s.metrics = newMetrics(s.queue.depth, s.store.Stats)
 
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
@@ -157,6 +187,15 @@ func (s *Server) Drain(timeout time.Duration) {
 // Draining reports whether Drain has begun (mirrors /readyz).
 func (s *Server) Draining() bool { return s.draining.Load() }
 
+// GC prunes terminal job records past the table bounds now. register prunes
+// on every admission; this is for a periodic sweep so an idle daemon still
+// ages records out under JobRetention.
+func (s *Server) GC() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gcLocked(time.Now())
+}
+
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
@@ -174,7 +213,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		s.metrics.jobRejected()
 		w.Header().Set("Retry-After", "10")
-		httpError(w, http.StatusServiceUnavailable, "draining: not accepting jobs")
+		s.httpError(w, http.StatusServiceUnavailable, "draining: not accepting jobs")
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -184,21 +223,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge,
+			s.httpError(w, http.StatusRequestEntityTooLarge,
 				"body exceeds %d bytes", tooBig.Limit)
 			return
 		}
-		httpError(w, http.StatusBadRequest, "decode job: %v", err)
+		s.httpError(w, http.StatusBadRequest, "decode job: %v", err)
 		return
 	}
 	design, err := req.normalize()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "invalid job: %v", err)
+		s.httpError(w, http.StatusBadRequest, "invalid job: %v", err)
 		return
 	}
 	key, err := contentKey(design, req.Options, req.Sweep)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "hash job: %v", err)
+		s.httpError(w, http.StatusInternalServerError, "hash job: %v", err)
 		return
 	}
 
@@ -222,7 +261,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// so the lifecycle API and SSE stream behave uniformly. (Best-effort:
 	// two identical jobs racing through admission both run; the store's
 	// first-writer-wins put keeps lineage consistent.)
-	if art := s.store.hit(key); art != nil {
+	if art, ok := s.store.Hit(key); ok {
 		now := time.Now()
 		j.state = StateDone
 		j.started, j.finished = now, now
@@ -233,7 +272,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.events.close()
 		s.register(j)
 		s.metrics.jobSubmitted(true)
-		writeJSON(w, http.StatusOK, j.status())
+		s.writeJSON(w, http.StatusOK, j.status())
 		return
 	}
 
@@ -243,12 +282,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.unregister(j)
 		s.metrics.jobRejected()
 		w.Header().Set("Retry-After", "10")
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		s.httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
 	s.metrics.jobSubmitted(false)
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
-	writeJSON(w, http.StatusCreated, j.status())
+	s.writeJSON(w, http.StatusCreated, j.status())
 }
 
 func (s *Server) register(j *job) {
@@ -256,6 +295,7 @@ func (s *Server) register(j *job) {
 	defer s.mu.Unlock()
 	s.jobs[j.id] = j
 	s.order = append(s.order, j)
+	s.gcLocked(time.Now())
 }
 
 func (s *Server) unregister(j *job) {
@@ -267,6 +307,44 @@ func (s *Server) unregister(j *job) {
 			s.order = append(s.order[:i], s.order[i+1:]...)
 			break
 		}
+	}
+}
+
+// gcLocked bounds the job table: terminal records are pruned oldest-first
+// while the table exceeds MaxJobs, and terminal records that finished
+// before now-JobRetention are pruned regardless of count. Queued and
+// running jobs are never pruned — the bound applies to history, not work.
+// Requires s.mu.
+func (s *Server) gcLocked(now time.Time) {
+	var cut time.Time
+	if s.cfg.JobRetention > 0 {
+		cut = now.Add(-s.cfg.JobRetention)
+	}
+	excess := len(s.order) - s.cfg.MaxJobs
+	if excess <= 0 && cut.IsZero() {
+		return
+	}
+	kept := make([]*job, 0, len(s.order))
+	removed := 0
+	for _, j := range s.order {
+		j.mu.Lock()
+		terminal := j.state.Terminal()
+		finished := j.finished
+		j.mu.Unlock()
+		aged := terminal && !cut.IsZero() && finished.Before(cut)
+		if terminal && (aged || excess > 0) {
+			delete(s.jobs, j.id)
+			removed++
+			if excess > 0 {
+				excess--
+			}
+			continue
+		}
+		kept = append(kept, j)
+	}
+	s.order = kept
+	if removed > 0 {
+		s.metrics.jobsCollected(removed)
 	}
 }
 
@@ -340,7 +418,9 @@ func (s *Server) runSingle(j *job) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	s.store.put(j.key, data, j.id)
+	if _, _, err := s.store.Put(j.key, data, j.id, j.seq); err != nil {
+		return "", err
+	}
 	return j.key, nil
 }
 
@@ -365,7 +445,9 @@ type sweepManifest struct {
 // "cell" event per completed cell. If every cell is already in the store
 // the whole job dedupes without running; otherwise the full grid runs
 // (store puts are idempotent, so previously-stored cells keep their
-// original lineage and are flagged Deduped in the manifest).
+// original lineage and are flagged Deduped in the manifest). Cells served
+// from the store count as dedupe hits on their artifacts — a sweep hitting
+// a cached cell is the same event as a single run hitting it.
 func (s *Server) runSweep(j *job) (string, error) {
 	spec := j.req.Sweep
 	grid := tscfp.Grid{
@@ -393,9 +475,10 @@ func (s *Server) runSweep(j *job) (string, error) {
 			return "", err
 		}
 		outs[i].Cell = c
-		if a := s.store.lookup(keys[i]); a != nil {
+		if a, ok := s.store.Hit(keys[i]); ok {
 			outs[i].Artifact = a.ID
 			outs[i].Deduped = true
+			s.metrics.cellDeduped()
 		} else {
 			allCached = false
 		}
@@ -419,8 +502,9 @@ func (s *Server) runSweep(j *job) (string, error) {
 				data, jerr := sr.Result.JSON()
 				if jerr != nil {
 					outs[i].Error = jerr.Error()
+				} else if a, existed, perr := s.store.Put(keys[i], data, j.id, j.seq); perr != nil {
+					outs[i].Error = perr.Error()
 				} else {
-					a, existed := s.store.put(keys[i], data, j.id)
 					outs[i].Artifact = a.ID
 					outs[i].Deduped = existed
 					outs[i].Error = ""
@@ -447,7 +531,9 @@ func (s *Server) runSweep(j *job) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	s.store.put(j.key, data, j.id)
+	if _, _, err := s.store.Put(j.key, data, j.id, j.seq); err != nil {
+		return "", err
+	}
 	return j.key, nil
 }
 
@@ -470,7 +556,18 @@ func cellOptions(base tscfp.RunOptions, c tscfp.Cell) tscfp.RunOptions {
 // ---- lifecycle handlers ----
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	filter := State(r.URL.Query().Get("state"))
+	q := r.URL.Query()
+	filter := State(q.Get("state"))
+	offset, err := queryInt(q.Get("offset"), 0)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "bad offset: %v", err)
+		return
+	}
+	limit, err := queryInt(q.Get("limit"), -1)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "bad limit: %v", err)
+		return
+	}
 	s.mu.Lock()
 	jobs := append([]*job(nil), s.order...)
 	s.mu.Unlock()
@@ -483,18 +580,42 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, st)
 	}
-	writeJSON(w, http.StatusOK, struct {
-		Jobs []JobStatus `json:"jobs"`
-	}{out})
+	total := len(out)
+	if offset > len(out) {
+		offset = len(out)
+	}
+	out = out[offset:]
+	if limit >= 0 && limit < len(out) {
+		out = out[:limit]
+	}
+	s.writeJSON(w, http.StatusOK, struct {
+		Jobs  []JobStatus `json:"jobs"`
+		Total int         `json:"total"`
+	}{out, total})
+}
+
+// queryInt parses a non-negative pagination parameter, def when absent.
+func queryInt(v string, def int) (int, error) {
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative value %d", n)
+	}
+	return n, nil
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
-		httpError(w, http.StatusNotFound, "no such job")
+		s.httpError(w, http.StatusNotFound, "no such job")
 		return
 	}
-	writeJSON(w, http.StatusOK, j.status())
+	s.writeJSON(w, http.StatusOK, j.status())
 }
 
 // handleCancel cancels a job. Idempotent: cancelling a terminal job
@@ -504,7 +625,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
-		httpError(w, http.StatusNotFound, "no such job")
+		s.httpError(w, http.StatusNotFound, "no such job")
 		return
 	}
 	j.mu.Lock()
@@ -524,36 +645,53 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		}
 		j.cancel()
 	}
-	writeJSON(w, http.StatusOK, j.status())
+	s.writeJSON(w, http.StatusOK, j.status())
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
-		httpError(w, http.StatusNotFound, "no such job")
+		s.httpError(w, http.StatusNotFound, "no such job")
 		return
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		httpError(w, http.StatusInternalServerError, "response writer cannot stream")
+		s.httpError(w, http.StatusInternalServerError, "response writer cannot stream")
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
-	write := func(ev sseEvent) {
-		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
+	// write reports delivery failure so the handler bails on a dead client
+	// instead of streaming into the void until the job ends.
+	write := func(ev sseEvent) bool {
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data); err != nil {
+			s.metrics.writeError()
+			return false
+		}
 		fl.Flush()
+		return true
 	}
 	hist, live := j.events.subscribe()
 	for _, ev := range hist {
-		write(ev)
+		if !write(ev) {
+			if live != nil {
+				j.events.unsubscribe(live)
+			}
+			return
+		}
 	}
 	if live == nil {
 		// Stream already closed; the replay's state event was terminal.
 		return
 	}
 	defer j.events.unsubscribe(live)
+	// Keep-alive comments defeat LB/proxy idle timeouts between progress
+	// events (a queued job behind a long blocker can be silent for minutes)
+	// and double as dead-client probes: a failed keep-alive write ends the
+	// handler even if the request context has not fired yet.
+	keepalive := time.NewTicker(s.cfg.SSEKeepAlive)
+	defer keepalive.Stop()
 	for {
 		select {
 		case ev, open := <-live:
@@ -565,7 +703,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				write(sseEvent{name: "state", data: data})
 				return
 			}
-			write(ev)
+			if !write(ev) {
+				return
+			}
+		case <-keepalive.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				s.metrics.writeError()
+				return
+			}
+			fl.Flush()
 		case <-r.Context().Done():
 			return
 		}
@@ -575,36 +721,40 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
-		httpError(w, http.StatusNotFound, "no such job")
+		s.httpError(w, http.StatusNotFound, "no such job")
 		return
 	}
 	st := j.status()
 	if st.State != StateDone {
-		httpError(w, http.StatusConflict, "job is %s, not done", st.State)
+		s.httpError(w, http.StatusConflict, "job is %s, not done", st.State)
 		return
 	}
-	data, ok := s.store.get(st.ArtifactID)
+	data, ok := s.store.Get(st.ArtifactID)
 	if !ok {
-		httpError(w, http.StatusNotFound, "artifact %s not in store", st.ArtifactID)
+		s.httpError(w, http.StatusNotFound, "artifact %s not in store", st.ArtifactID)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Write(data)
+	if _, err := w.Write(data); err != nil {
+		s.metrics.writeError()
+	}
 }
 
 func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
-	data, ok := s.store.get(r.PathValue("id"))
+	data, ok := s.store.Get(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such artifact")
+		s.httpError(w, http.StatusNotFound, "no such artifact")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Write(data)
+	if _, err := w.Write(data); err != nil {
+		s.metrics.writeError()
+	}
 }
 
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
-		httpError(w, http.StatusServiceUnavailable, "draining")
+		s.httpError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
 	fmt.Fprintln(w, "ready")
@@ -612,16 +762,22 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 
 // ---- helpers ----
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON encodes v to the client. An Encode failure (almost always a
+// client that hung up mid-response) is counted rather than silently
+// dropped; the response is already committed, so bailing is all a handler
+// can do, and every caller writes last.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.metrics.writeError()
+	}
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, struct {
+func (s *Server) httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	s.writeJSON(w, code, struct {
 		Error string `json:"error"`
 	}{fmt.Sprintf(format, args...)})
 }
