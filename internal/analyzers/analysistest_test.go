@@ -1,0 +1,179 @@
+package analyzers
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The test harness mirrors x/tools' analysistest: fixture packages live
+// under testdata/src/<analyzer>/..., every line that must produce a
+// finding carries a `// want "regex"` comment (several per line allowed),
+// and every finding must be claimed by a want on its line. Fixtures are
+// copied into a throwaway module and loaded through the production Load —
+// the same `go list -export` + type-check path tscfplint uses — so the
+// tests also pin the loader end to end.
+
+// wantRE pulls the expectation list off a source line.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.+)$`)
+
+// wantStrRE pulls the individual quoted regexes out of the list.
+var wantStrRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+type wantKey struct {
+	file string // path relative to the fixture root
+	line int
+}
+
+// runAnalyzerTest loads testdata/src/<root> as a fresh module and checks
+// analyzer a's findings against the fixture's want comments.
+func runAnalyzerTest(t *testing.T, a *Analyzer, root string) {
+	t.Helper()
+	fixture := filepath.Join("testdata", "src", root)
+	dir := t.TempDir()
+	if err := copyFixture(fixture, dir); err != nil {
+		t.Fatalf("copy fixture: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixture\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	wants, err := collectWants(fixture)
+	if err != nil {
+		t.Fatalf("collect wants: %v", err)
+	}
+
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("Load returned no packages")
+	}
+	diags, err := Run([]*Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	matched := make(map[wantKey][]bool, len(wants))
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, d := range diags {
+		rel, err := filepath.Rel(dir, d.Pos.Filename)
+		if err != nil {
+			t.Fatalf("diagnostic outside fixture: %v", err)
+		}
+		k := wantKey{filepath.ToSlash(rel), d.Pos.Line}
+		claimed := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched[k][i] = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s:%d: unexpected finding: %s", k.file, k.line, d.Message)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: expected finding matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+func copyFixture(src, dst string) error {
+	return filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+}
+
+// collectWants scans the fixture tree for want comments, keyed by path
+// relative to the fixture root (the same shape findings are keyed by
+// after the copy).
+func collectWants(fixture string) (map[wantKey][]*regexp.Regexp, error) {
+	wants := make(map[wantKey][]*regexp.Regexp)
+	err := filepath.WalkDir(fixture, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rel, err := filepath.Rel(fixture, path)
+		if err != nil {
+			return err
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantRE.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			quoted := wantStrRE.FindAllString(m[1], -1)
+			if len(quoted) == 0 {
+				return fmt.Errorf("%s:%d: malformed want comment", rel, line)
+			}
+			for _, q := range quoted {
+				s, err := strconv.Unquote(q)
+				if err != nil {
+					return fmt.Errorf("%s:%d: %v", rel, line, err)
+				}
+				re, err := regexp.Compile(s)
+				if err != nil {
+					return fmt.Errorf("%s:%d: %v", rel, line, err)
+				}
+				k := wantKey{filepath.ToSlash(rel), line}
+				wants[k] = append(wants[k], re)
+			}
+		}
+		return sc.Err()
+	})
+	return wants, err
+}
+
+func TestDeterminismAnalyzer(t *testing.T) {
+	runAnalyzerTest(t, DeterminismAnalyzer, "determinism")
+}
+
+func TestJournalPairAnalyzer(t *testing.T) {
+	runAnalyzerTest(t, JournalPairAnalyzer, "journalpair")
+}
+
+func TestFloatCompareAnalyzer(t *testing.T) {
+	runAnalyzerTest(t, FloatCompareAnalyzer, "floatcompare")
+}
+
+func TestCtxFlowAnalyzer(t *testing.T) {
+	runAnalyzerTest(t, CtxFlowAnalyzer, "ctxflow")
+}
+
+func TestErrSinkAnalyzer(t *testing.T) {
+	runAnalyzerTest(t, ErrSinkAnalyzer, "errsink")
+}

@@ -1,0 +1,126 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxLoopPackages are the layers whose exported entry points own
+// long-running work: the public flow API, the serving daemon, and the
+// anneal engines. Unbounded loops there must consult their context or
+// cancellation silently stops reaching the inner loops — the property
+// PR 1 threaded ctx down to the anneal/thermal sweeps for.
+var CtxLoopPackages = []string{
+	"tscfp",
+	"internal/server",
+	"internal/anneal",
+	"internal/core",
+	"cmd/tscfpd",
+}
+
+// CtxFlowAnalyzer enforces the cancellation contract:
+//
+//  1. in the flow/server/anneal layers, an exported function that receives
+//     a context.Context must not contain an unbounded `for {}` loop whose
+//     body never consults any context (no ctx.Done()/ctx.Err() select, no
+//     call forwarding ctx) — such a loop outlives cancellation;
+//  2. everywhere: a function that receives a context.Context must not mint
+//     a fresh context.Background()/context.TODO() — that drops the
+//     caller's deadline and cancellation on the floor mid-chain. Detached
+//     background work below an entry point is the rare legitimate case;
+//     annotate it //lint:ctx <reason>.
+var CtxFlowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "exported unbounded loops must consult ctx; functions receiving a ctx must not mint context.Background",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	loopLayer := pkgPathMatchesAny(pass.Pkg.Path(), CtxLoopPackages)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxParams := contextParams(pass, fd)
+			if len(ctxParams) == 0 {
+				continue
+			}
+			checkBackgroundDrop(pass, fd)
+			if loopLayer && fd.Name.IsExported() {
+				checkUnboundedLoops(pass, fd, ctxParams)
+			}
+		}
+	}
+	return nil
+}
+
+// contextParams returns the objects of fd's context.Context parameters.
+func contextParams(pass *Pass, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	for _, field := range fd.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// checkBackgroundDrop flags context.Background()/context.TODO() calls in a
+// function that already received a context.
+func checkBackgroundDrop(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || !isPkgLevelCall(fn, "context") {
+			return true
+		}
+		if fn.Name() == "Background" || fn.Name() == "TODO" {
+			pass.Reportf(call.Pos(), "ctx",
+				"context.%s inside %s, which already receives a ctx: forward the caller's context or its child — a fresh root drops cancellation and deadlines%s",
+				fn.Name(), fd.Name.Name, suppressKey("ctx"))
+		}
+		return true
+	})
+}
+
+// checkUnboundedLoops flags `for {}` loops (no condition, no range) whose
+// body never references any context-typed value. Referencing ANY context
+// counts: a select on ctx.Done(), an explicit ctx.Err() poll, or a call
+// that forwards ctx (the callee then owns the check).
+func checkUnboundedLoops(pass *Pass, fd *ast.FuncDecl, ctxParams []types.Object) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		consults := false
+		ast.Inspect(loop.Body, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok || consults {
+				return !consults
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj != nil && isContextType(obj.Type()) {
+				consults = true
+			}
+			return !consults
+		})
+		if !consults {
+			pass.Reportf(loop.Pos(), "ctx",
+				"unbounded for-loop in exported %s never consults a context: cancellation cannot stop it — select on ctx.Done() or poll ctx.Err()%s",
+				fd.Name.Name, suppressKey("ctx"))
+		}
+		return true
+	})
+}

@@ -1,0 +1,227 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DeterministicPackages are the path suffixes of packages whose results
+// must be bit-identical for a fixed seed at any worker count — the whole
+// incremental/anneal stack pinned by the golden and fuzz suites. Matching
+// is by path suffix ("internal/core" matches "repro/internal/core" and a
+// fixture module's "fixture/internal/core").
+var DeterministicPackages = []string{
+	"internal/core",
+	"internal/anneal",
+	"internal/floorplan",
+	"internal/leakage",
+	"internal/timing",
+	"internal/volt",
+	"internal/geom",
+	"internal/thermal",
+	"internal/par",
+}
+
+// DeterminismAnalyzer enforces the reproducibility contract inside the
+// deterministic packages:
+//
+//   - no wall-clock reads (time.Now/Since/Until/Tick/After/NewTicker/
+//     NewTimer) outside annotated timing-stat sites (//lint:wallclock);
+//   - no math/rand global-state functions — randomness must flow through
+//     an injected, seeded *rand.Rand (rand.New(rand.NewSource(seed)) is
+//     the blessed constructor pair);
+//   - no `range` over a map whose body feeds an ordered sink (writer or
+//     encoder calls, or append into an outer slice that is never sorted
+//     afterwards) — the iteration-order bug class the golden/fuzz suites
+//     only catch after the fact.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, global rand, and unordered map iteration feeding ordered outputs in the deterministic packages",
+	Run:  runDeterminism,
+}
+
+// wallClockFuncs are time-package functions whose result depends on when
+// the call happens.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Tick": true,
+	"After": true, "AfterFunc": true, "NewTicker": true, "NewTimer": true,
+}
+
+// seededRandFuncs are the only math/rand package-level functions the
+// deterministic packages may call: the constructor pair for an injected
+// generator.
+var seededRandFuncs = map[string]bool{"New": true, "NewSource": true}
+
+func runDeterminism(pass *Pass) error {
+	if !pkgPathMatchesAny(pass.Pkg.Path(), DeterministicPackages) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDetCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, file, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDetCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if isPkgLevelCall(fn, "time") && wallClockFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(), "wallclock",
+				"time.%s in deterministic package %s: results must not depend on wall clock%s",
+				fn.Name(), pass.Pkg.Name(), suppressKey("wallclock"))
+		}
+	case "math/rand", "math/rand/v2":
+		if isPkgLevelCall(fn, fn.Pkg().Path()) && !seededRandFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(), "rand",
+				"global %s.%s uses shared unseeded state: draw from an injected *rand.Rand instead%s",
+				fn.Pkg().Name(), fn.Name(), suppressKey("rand"))
+		}
+	}
+}
+
+// orderedSinkMethods are method names whose call order is observable in an
+// ordered output: stream writes, encoders, and hash updates.
+var orderedSinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func checkMapRange(pass *Pass, file *ast.File, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+
+	// Collect order-sensitive sinks in the body. Two classes: direct
+	// stream/encoder/print calls (order observable immediately), and
+	// appends into a slice declared outside the loop (order observable
+	// unless the slice is sorted before use — checked below).
+	var directSink ast.Node
+	appendTargets := map[types.Object]token.Pos{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin && fun.Name == "append" {
+				if obj := appendTargetObj(pass, call); obj != nil && obj.Pos() < rng.Pos() {
+					appendTargets[obj] = call.Pos()
+				}
+			}
+			if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && orderedSinkMethods[fn.Name()] {
+				directSink = call
+			}
+		case *ast.SelectorExpr:
+			if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+				name := fn.Name()
+				if orderedSinkMethods[name] {
+					directSink = call
+				}
+			}
+		}
+		return true
+	})
+
+	if directSink != nil {
+		pass.Reportf(rng.Pos(), "maporder",
+			"range over map feeds an ordered output: map iteration order is random — collect keys, sort, then emit%s",
+			suppressKey("maporder"))
+		return
+	}
+	if len(appendTargets) == 0 {
+		return
+	}
+	// Appends into outer slices are fine if the function sorts the slice
+	// after the loop (the collect-sort-emit idiom). Look for any sort.* /
+	// slices.Sort* call after the range whose arguments mention the target.
+	fd := enclosingFuncDecl(file, rng.Pos())
+	for obj, pos := range appendTargets {
+		if fd != nil && sortedAfter(pass, fd, rng.End(), obj) {
+			continue
+		}
+		pass.Reportf(pos, "maporder",
+			"append to %s inside range over map without a later sort: element order depends on map iteration%s",
+			obj.Name(), suppressKey("maporder"))
+	}
+}
+
+// appendTargetObj returns the object of x in `x = append(x, ...)` /
+// `x := append(x, ...)` when the append call is the RHS of an assignment
+// whose LHS is a plain identifier.
+func appendTargetObj(pass *Pass, call *ast.CallExpr) types.Object {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Defs[id]
+	}
+	return nil
+}
+
+// sortedAfter reports whether, lexically after pos inside fd, some call
+// into sort or slices mentions obj among its arguments (including inside
+// closure arguments, which covers sort.Slice's less function).
+func sortedAfter(pass *Pass, fd *ast.FuncDecl, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg := fn.Pkg().Path()
+		if pkg != "sort" && !(pkg == "slices" && strings.HasPrefix(fn.Name(), "Sort")) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// enclosingFuncDecl returns the innermost FuncDecl containing pos.
+func enclosingFuncDecl(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	var fd *ast.FuncDecl
+	for _, decl := range file.Decls {
+		if d, ok := decl.(*ast.FuncDecl); ok && d.Pos() <= pos && pos < d.End() {
+			fd = d
+		}
+	}
+	return fd
+}

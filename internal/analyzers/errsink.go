@@ -1,0 +1,264 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrSinkAnalyzer flags silently discarded errors from write paths — the
+// PR 9 bug class, where tscfpd's writeJSON/SSE handlers dropped
+// ResponseWriter and Encoder errors and dead clients looked healthy:
+//
+//   - a discarded error from a Write/WriteString/WriteByte/WriteRune/
+//     ReadFrom/Flush/Sync method (io.Writer, http.ResponseWriter, bufio,
+//     SSE frames, ...);
+//   - a discarded error from fmt.Fprint/Fprintf/Fprintln, unless the
+//     writer is os.Stdout/os.Stderr (best-effort terminal output is the
+//     accepted idiom in cmds and examples);
+//   - a discarded (*json.Encoder).Encode error;
+//   - a discarded Close on a value this function also wrote to — the
+//     buffered tail of a file write surfaces at Close, so ignoring it
+//     loses data while reporting success. Close on read-only values is
+//     not flagged.
+//
+// "Discarded" covers bare expression statements, defer statements, and
+// assignments that send the error to _. Receivers whose writes cannot
+// fail (strings.Builder, bytes.Buffer, hash.Hash) are exempt. Genuine
+// best-effort sites must say so: //lint:besteffort <reason>.
+var ErrSinkAnalyzer = &Analyzer{
+	Name: "errsink",
+	Doc:  "forbid silently discarded errors from writer/encoder/Close calls on write paths",
+	Run:  runErrSink,
+}
+
+// writeMethodNames return an error whose loss hides a failed write.
+var writeMethodNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteTo": true, "ReadFrom": true, "Flush": true, "Sync": true,
+}
+
+// infallibleWriterPkgs hold writer types documented to never return a
+// write error.
+var infallibleWriterPkgs = map[string]bool{
+	"strings": true, "bytes": true, "hash": true,
+	"crypto/sha256": true, "crypto/sha1": true, "crypto/sha512": true, "crypto/md5": true,
+	"hash/fnv": true, "hash/crc32": true, "hash/crc64": true, "hash/maphash": true, "hash/adler32": true,
+}
+
+func runErrSink(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncErrSinks(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFuncErrSinks(pass *Pass, fd *ast.FuncDecl) {
+	// Pass 1: objects this function writes to (receiver of a write-method
+	// call, or writer argument of an Fprint-family call). Close-error
+	// discards are only findings for these.
+	written := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		switch {
+		case writeMethodNames[fn.Name()] && recvNamed(fn) != nil:
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if obj := baseObject(pass, sel.X); obj != nil {
+					written[obj] = true
+				}
+			}
+		case isPkgLevelCall(fn, "fmt") && strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0:
+			if obj := baseObject(pass, call.Args[0]); obj != nil {
+				written[obj] = true
+			}
+		case isPkgLevelCall(fn, "io") && (fn.Name() == "Copy" || fn.Name() == "CopyN" || fn.Name() == "WriteString") && len(call.Args) > 0:
+			if obj := baseObject(pass, call.Args[0]); obj != nil {
+				written[obj] = true
+			}
+		}
+		return true
+	})
+
+	// Pass 2: find discard sites.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				checkDiscardedCall(pass, call, written)
+			}
+		case *ast.DeferStmt:
+			checkDiscardedCall(pass, n.Call, written)
+		case *ast.GoStmt:
+			checkDiscardedCall(pass, n.Call, written)
+		case *ast.AssignStmt:
+			// x, _ := w.Write(p) or _ = enc.Encode(v): the error result
+			// position must not land in _.
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if errResultBlanked(pass, n, call) {
+				checkDiscardedCall(pass, call, written)
+			}
+		}
+		return true
+	})
+}
+
+// errResultBlanked reports whether the assignment sends the call's
+// error-typed result(s) to the blank identifier.
+func errResultBlanked(pass *Pass, as *ast.AssignStmt, call *ast.CallExpr) bool {
+	t := pass.TypesInfo.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	results, ok := t.(*types.Tuple)
+	if !ok {
+		// Single result: blanked iff LHS is _.
+		if !isErrorType(t) || len(as.Lhs) != 1 {
+			return false
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	if results.Len() != len(as.Lhs) {
+		return false
+	}
+	for i := 0; i < results.Len(); i++ {
+		if !isErrorType(results.At(i).Type()) {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && namedPath(n) == "error"
+}
+
+// checkDiscardedCall reports a finding if call is an error-returning write
+// sink whose error the surrounding statement discards.
+func checkDiscardedCall(pass *Pass, call *ast.CallExpr, written map[types.Object]bool) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || !returnsError(fn) {
+		return
+	}
+	recv := recvNamed(fn)
+	switch {
+	case recv != nil && writeMethodNames[fn.Name()]:
+		if recvPkg := recv.Obj().Pkg(); recvPkg != nil && infallibleWriterPkgs[recvPkg.Path()] {
+			return
+		}
+		pass.Reportf(call.Pos(), "besteffort",
+			"%s error discarded: a failed write is silently reported as success%s",
+			fn.Name(), suppressKey("besteffort"))
+	case recv != nil && fn.Name() == "Encode":
+		pass.Reportf(call.Pos(), "besteffort",
+			"Encode error discarded: a failed or half-written encoding is silently reported as success%s",
+			suppressKey("besteffort"))
+	case recv != nil && fn.Name() == "Close":
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		obj := baseObject(pass, sel.X)
+		if obj == nil || !written[obj] {
+			return
+		}
+		pass.Reportf(call.Pos(), "besteffort",
+			"Close error discarded on %s, which this function wrote to: buffered write failures surface at Close%s",
+			obj.Name(), suppressKey("besteffort"))
+	case isPkgLevelCall(fn, "fmt") && strings.HasPrefix(fn.Name(), "Fprint"):
+		if len(call.Args) > 0 && (isStdStream(pass, call.Args[0]) || isInfallibleWriter(pass, call.Args[0])) {
+			return
+		}
+		pass.Reportf(call.Pos(), "besteffort",
+			"fmt.%s error discarded: a failed write is silently reported as success%s",
+			fn.Name(), suppressKey("besteffort"))
+	}
+}
+
+// returnsError reports whether fn's last result is error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	return isErrorType(sig.Results().At(sig.Results().Len() - 1).Type())
+}
+
+// baseObject resolves the root identifier of an expression (x, x.f, x[i],
+// *x, x.f.g → x's object), the key write-then-Close tracking is keyed by.
+func baseObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.CallExpr:
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// isInfallibleWriter reports whether e's type (through & and *) is a
+// writer documented to never fail (strings.Builder, bytes.Buffer,
+// hash.Hash implementations) — Fprintf into those has no loseable error.
+func isInfallibleWriter(pass *Pass, e ast.Expr) bool {
+	if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok {
+		e = u.X
+	}
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return infallibleWriterPkgs[n.Obj().Pkg().Path()]
+}
+
+// isStdStream reports whether e is os.Stdout or os.Stderr — best-effort
+// terminal output, the accepted discard in cmds and examples.
+func isStdStream(pass *Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return false
+	}
+	return obj.Name() == "Stdout" || obj.Name() == "Stderr"
+}

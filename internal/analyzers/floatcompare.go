@@ -1,0 +1,88 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// FloatCompareAnalyzer flags exact `==`/`!=` between computed
+// floating-point operands. The incremental caches hold a 1e-9 equivalence
+// contract against full recomputation precisely because float arithmetic
+// drifts at the ulp level (PR 5's subtract/re-add power-map patching
+// flipped nested-means entropy classes through exactly this); comparisons
+// must go through the blessed tolerance helpers (Equivalent*,
+// math.Abs(a-b) <= tol) instead of raw equality.
+//
+// Deliberately NOT flagged:
+//   - comparisons where either side is a compile-time constant — sentinel
+//     and default-value checks (x == 0, tol != 1e-9) compare against a
+//     value that was assigned exactly, not computed;
+//   - self-comparison (x != x), the portable NaN test;
+//   - code inside the tolerance/equivalence helpers themselves
+//     (function names matching Equivalent/approxEqual/almostEqual);
+//   - _test.go files (fixtures pin exact values on purpose).
+//
+// Suppress intentional exact comparisons with //lint:floateq <reason>.
+var FloatCompareAnalyzer = &Analyzer{
+	Name: "floatcompare",
+	Doc:  "forbid exact ==/!= between computed floating-point values outside tolerance helpers",
+	Run:  runFloatCompare,
+}
+
+var toleranceHelperRE = regexp.MustCompile(`(?i)(equivalent|approxeq|almosteq|floateq|withintol)`)
+
+func runFloatCompare(pass *Pass) error {
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatOperand(pass, be.X) || !isFloatOperand(pass, be.Y) {
+				return true
+			}
+			if isConstExpr(pass, be.X) || isConstExpr(pass, be.Y) {
+				return true
+			}
+			if sameIdent(pass, be.X, be.Y) {
+				return true // x != x NaN check
+			}
+			if toleranceHelperRE.MatchString(enclosingFuncName(file, be.Pos())) {
+				return true
+			}
+			pass.Reportf(be.Pos(), "floateq",
+				"exact float %s comparison: ulp drift breaks this — use a tolerance helper (math.Abs(a-b) <= tol or Equivalent*)%s",
+				be.Op, suppressKey("floateq"))
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloatOperand(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// sameIdent reports whether x and y are the same simple identifier
+// resolving to the same object — the x != x NaN idiom.
+func sameIdent(pass *Pass, x, y ast.Expr) bool {
+	xi, ok1 := ast.Unparen(x).(*ast.Ident)
+	yi, ok2 := ast.Unparen(y).(*ast.Ident)
+	return ok1 && ok2 && pass.TypesInfo.Uses[xi] != nil && pass.TypesInfo.Uses[xi] == pass.TypesInfo.Uses[yi]
+}

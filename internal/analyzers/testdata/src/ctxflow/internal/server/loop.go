@@ -1,0 +1,65 @@
+// Package server is a ctxflow layer fixture: exported unbounded loops
+// here must consult their context.
+package server
+
+import "context"
+
+// Spin never consults ctx: cancellation cannot stop it.
+func Spin(ctx context.Context, ch <-chan int) int {
+	total := 0
+	for { // want "unbounded for-loop in exported Spin never consults a context"
+		v, ok := <-ch
+		if !ok {
+			return total
+		}
+		total += v
+	}
+}
+
+// Serve consults ctx through a select.
+func Serve(ctx context.Context, ch <-chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case v := <-ch:
+			total += v
+		}
+	}
+}
+
+// Forwarding ctx to a callee counts as consulting.
+func Pump(ctx context.Context, ch <-chan int) int {
+	total := 0
+	for {
+		if err := step(ctx); err != nil {
+			return total
+		}
+		total += <-ch
+	}
+}
+
+func step(ctx context.Context) error { return ctx.Err() }
+
+// Unexported loops are an internal concern, not an exported contract.
+func spinInternal(ctx context.Context, ch <-chan int) int {
+	for {
+		v, ok := <-ch
+		if !ok {
+			return 0
+		}
+		_ = v
+	}
+}
+
+// A received ctx must flow; a fresh root drops cancellation mid-chain.
+func Rebase(ctx context.Context) context.Context {
+	return context.Background() // want "context\\.Background inside Rebase"
+}
+
+// Annotated detached work below an entry point.
+func Detach(ctx context.Context) context.Context {
+	//lint:ctx deliberate detach: audit writes must outlive the request
+	return context.Background()
+}

@@ -1,0 +1,20 @@
+// Package other is outside the flow/server/anneal layers: the unbounded
+// loop gate does not apply, but dropping a received context is flagged
+// everywhere.
+package other
+
+import "context"
+
+func Wait(ctx context.Context, ch <-chan int) int {
+	for {
+		v, ok := <-ch
+		if !ok {
+			return 0
+		}
+		_ = v
+	}
+}
+
+func Fresh(ctx context.Context) context.Context {
+	return context.TODO() // want "context\\.TODO inside Fresh"
+}

@@ -1,0 +1,100 @@
+// Package anneal is a determinism fixture: its import path ends in
+// internal/anneal, so the analyzer treats it as a deterministic package.
+package anneal
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"slices"
+	"sort"
+	"time"
+)
+
+// Wall-clock reads are findings in a deterministic package.
+func Wallclock() float64 {
+	started := time.Now()                // want "time\\.Now in deterministic package"
+	return time.Since(started).Seconds() // want "time\\.Since in deterministic package"
+}
+
+// An annotated timing-stat site is allowlisted.
+func Stats() time.Time {
+	//lint:wallclock timing stat for reporting only, excluded from golden compares
+	return time.Now()
+}
+
+// A bare annotation without a reason must not silence the finding.
+func Muted() time.Time {
+	//lint:wallclock
+	return time.Now() // want "must carry a reason"
+}
+
+// Global math/rand functions draw from shared unseeded state.
+func GlobalRand() int {
+	return rand.Intn(10) // want "global rand\\.Intn"
+}
+
+// The injected seeded generator is the blessed idiom.
+func SeededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// Emitting during map iteration leaks the random order into the output.
+func EmitUnsorted(w io.Writer, m map[int]float64) {
+	for k, v := range m { // want "range over map feeds an ordered output"
+		fmt.Fprintf(w, "%d %g\n", k, v)
+	}
+}
+
+// Collect, sort, then emit: the correct idiom stays silent.
+func EmitSorted(w io.Writer, m map[int]float64) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%d %g\n", k, m[k])
+	}
+}
+
+// Appending map keys without ever sorting leaks the order to the caller.
+func CollectUnsorted(m map[int]float64) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside range over map without a later sort"
+	}
+	return keys
+}
+
+// slices.Sort after the loop is the same collect-sort-emit idiom.
+func CollectSlicesSorted(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// Appending into a struct field is out of the tracker's single-identifier
+// scope; the field's consumers sort before emission.
+type keyAgg struct {
+	keys []int
+}
+
+func (a *keyAgg) collect(m map[int]float64) {
+	for k := range m {
+		a.keys = append(a.keys, k)
+	}
+}
+
+// Order-insensitive reductions over a map are fine.
+func Sum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,22 @@
+// Package server is the negative fixture: it is not one of the
+// deterministic packages, so wall-clock and map-order checks do not apply.
+package server
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+func Uptime(start time.Time) float64 {
+	return time.Since(start).Seconds()
+}
+
+func Dump(w io.Writer, m map[string]int) error {
+	for k, v := range m {
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

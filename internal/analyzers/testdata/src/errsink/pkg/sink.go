@@ -1,0 +1,88 @@
+// Package pkg exercises the discarded-write-error check.
+package pkg
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// A bare expression statement drops the error on the floor.
+func Dropped(w io.Writer, p []byte) {
+	w.Write(p) // want "Write error discarded"
+}
+
+// Blanking the error result is the same silent drop.
+func BlankAssigned(w io.Writer, p []byte) {
+	_, _ = w.Write(p) // want "Write error discarded"
+}
+
+// Checking the error is the contract.
+func Checked(w io.Writer, p []byte) error {
+	_, err := w.Write(p)
+	return err
+}
+
+func Printed(w io.Writer, v int) {
+	fmt.Fprintf(w, "%d\n", v) // want "fmt\\.Fprintf error discarded"
+}
+
+// Stderr/stdout prints are accepted best-effort terminal output.
+func Logged(v int) {
+	fmt.Fprintf(os.Stderr, "%d\n", v)
+}
+
+// strings.Builder writes cannot fail.
+func Built(v int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d", v)
+	return b.String()
+}
+
+func Encoded(w io.Writer, v any) {
+	json.NewEncoder(w).Encode(v) // want "Encode error discarded"
+}
+
+// Close on a written handle loses the buffered tail.
+func WriteAll(f *os.File, p []byte) error {
+	defer f.Close() // want "Close error discarded on f"
+	_, err := f.Write(p)
+	return err
+}
+
+// Close on a read-only handle has no buffered write to lose.
+func ReadAll(f *os.File) ([]byte, error) {
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// A single-result error sent to _ is the same drop as a bare statement.
+func Synced(f *os.File) {
+	_ = f.Sync() // want "Sync error discarded"
+}
+
+// Write-then-Close tracking follows selector/index chains to the root.
+func WriteIndexed(fs []*os.File, i int, p []byte) error {
+	defer fs[i].Close() // want "Close error discarded on fs"
+	_, err := fs[i].Write(p)
+	return err
+}
+
+// Close on a value produced by a call has no trackable root: not flagged.
+func CloseFresh(open func() *os.File) {
+	open().Close()
+}
+
+// Annotated best-effort frame.
+func Notify(w io.Writer) {
+	//lint:besteffort SSE keep-alive; a dead client surfaces on the next data frame
+	w.Write([]byte(": keepalive\n\n"))
+}
+
+// A bare annotation must not silence anything.
+func Muted(w io.Writer, p []byte) {
+	//lint:besteffort
+	w.Write(p) // want "must carry a reason"
+}

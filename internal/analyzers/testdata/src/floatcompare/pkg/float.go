@@ -1,0 +1,45 @@
+// Package pkg exercises the exact-float-equality check.
+package pkg
+
+import "math"
+
+const tol = 1e-9
+
+// Computed-vs-computed equality is the ulp-drift bug class.
+func Drifts(a, b float64) bool {
+	return a == b // want "exact float == comparison"
+}
+
+func DriftsNeq(a, b float64) bool {
+	return a != b // want "exact float != comparison"
+}
+
+// Sentinel checks compare against a value that was assigned exactly.
+func Unset(x float64) bool {
+	return x == 0
+}
+
+func DefaultTol(t float64) bool {
+	return t != 1e-9
+}
+
+// Self-comparison is the portable NaN test.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// Tolerance helpers are the blessed home of exact logic.
+func EquivalentValues(a, b float64) bool {
+	return a == b || math.Abs(a-b) <= tol
+}
+
+// Annotated intentional identity check of copied values.
+func Same(a, b float64) bool {
+	//lint:floateq identity check of copied values, not recomputations
+	return a == b
+}
+
+// Integers are not floats.
+func IntEq(a, b int) bool {
+	return a == b
+}

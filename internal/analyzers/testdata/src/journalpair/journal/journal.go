@@ -1,0 +1,89 @@
+// Package journal exercises the journaled-undo pairing check.
+package journal
+
+// rec is a journaled mutation record with no handling of its own.
+type rec struct {
+	idx int
+	old float64
+}
+
+// badCache appends records nothing can roll back: the finding.
+type badCache struct {
+	vals    []float64
+	journal []rec // want "journal field badCache\\.journal has no rollback-family handling"
+}
+
+func (c *badCache) set(i int, v float64) {
+	c.journal = append(c.journal, rec{i, c.vals[i]})
+	c.vals[i] = v
+}
+
+// goodCache pairs its journal with a Rollback on the container.
+type goodCache struct {
+	vals    []float64
+	journal []rec
+}
+
+func (c *goodCache) set(i int, v float64) {
+	c.journal = append(c.journal, rec{i, c.vals[i]})
+	c.vals[i] = v
+}
+
+func (c *goodCache) Rollback() {
+	for i := len(c.journal) - 1; i >= 0; i-- {
+		c.vals[c.journal[i].idx] = c.journal[i].old
+	}
+	c.journal = c.journal[:0]
+}
+
+// undoRec carries its own Revert: handling on the record type pairs too.
+type undoRec struct {
+	idx int
+	old float64
+}
+
+func (r undoRec) Revert(vals []float64) { vals[r.idx] = r.old }
+
+type elemCache struct {
+	vals    []float64
+	pending []undoRec
+}
+
+func (c *elemCache) set(i int, v float64) {
+	c.pending = append(c.pending, undoRec{i, c.vals[i]})
+	c.vals[i] = v
+}
+
+// auditLog is a deliberate fire-and-forget record stream.
+type auditLog struct {
+	//lint:journal append-only audit trail: replayed on startup, never rolled back
+	records []rec
+}
+
+func (l *auditLog) add(r rec) { l.records = append(l.records, r) }
+
+// ptrCache journals through pointers: slice-of-pointer records still need
+// rollback handling.
+type ptrCache struct {
+	vals  []float64
+	diffs []*rec // want "journal field ptrCache\\.diffs has no rollback-family handling"
+}
+
+func (c *ptrCache) set(i int, v float64) {
+	c.diffs = append(c.diffs, &rec{i, c.vals[i]})
+	c.vals[i] = v
+}
+
+// oneShot holds a single in-flight record behind a pointer: same contract.
+type oneShot struct {
+	vals []float64
+	undo *rec // want "journal field oneShot\\.undo has no rollback-family handling"
+}
+
+// counters is not a journal: plain value fields named like logs carry no
+// records and are ignored.
+type counters struct {
+	history int
+	journal string
+	records map[int]rec
+}

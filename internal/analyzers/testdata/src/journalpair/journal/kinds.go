@@ -1,0 +1,56 @@
+package journal
+
+// recKind discriminates journal record kinds.
+type recKind int
+
+const (
+	kindSet recKind = iota
+	kindSwap
+	kindReset
+	numKinds // sentinel, exempt from exhaustiveness
+)
+
+// rollback misses kindReset and has no default: adding a record kind
+// without handling it silently corrupts rollback — the finding.
+func rollback(k recKind) int {
+	switch k { // want "misses kindReset"
+	case kindSet:
+		return 1
+	case kindSwap:
+		return 2
+	}
+	return 0
+}
+
+// rollbackAll lists every kind.
+func rollbackAll(k recKind) int {
+	switch k {
+	case kindSet, kindSwap:
+		return 1
+	case kindReset:
+		return 2
+	}
+	return 0
+}
+
+// describe has a default clause, which counts as handling.
+func describe(k recKind) string {
+	switch k {
+	case kindSet:
+		return "set"
+	default:
+		return "other"
+	}
+}
+
+// peek is a deliberate partial dispatch, annotated.
+func peek(k recKind) bool {
+	//lint:partialswitch only kindSet carries a payload worth peeking at
+	switch k {
+	case kindSet:
+		return true
+	case kindSwap:
+		return false
+	}
+	return false
+}

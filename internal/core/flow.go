@@ -41,6 +41,7 @@ func RunContext(ctx context.Context, des *netlist.Design, cfg Config) (*Result, 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	//lint:wallclock RuntimeSec is a reporting stat; golden compares exclude it
 	started := time.Now()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
@@ -101,7 +102,7 @@ func RunContext(ctx context.Context, des *netlist.Design, cfg Config) (*Result, 
 	if err := finalize(ctx, res, &cfg, rng); err != nil {
 		return nil, err
 	}
-	res.Metrics.RuntimeSec = time.Since(started).Seconds()
+	res.Metrics.RuntimeSec = time.Since(started).Seconds() //lint:wallclock RuntimeSec is a reporting stat; golden compares exclude it
 	cfg.emit(ProgressEvent{Stage: StageDone})
 	return res, nil
 }

@@ -858,6 +858,7 @@ func (ic *incrState) applyMove(e *evaluator) {
 			j.netWL = append(j.netWL, ic.netWL[ni])
 			j.netDelay = append(j.netDelay, old)
 			ic.refreshNet(ni, ic.lay.Design.Nets[ni], e.cfg.TimingParams)
+			//lint:floateq change detection against a stored copy: unchanged values are bit-identical, not recomputed
 			if e.staIncr && ic.netDelay[ni] != old {
 				ic.staNets = append(ic.staNets, ni)
 			}

@@ -324,6 +324,7 @@ func skylineEqual(sky *skyline, xs, ys []float64) bool {
 		return false
 	}
 	for i := range xs {
+		//lint:floateq bit-identity against a snapshot is the contract: both sides are copies, not recomputations
 		if sky.xs[i] != xs[i] || sky.ys[i] != ys[i] {
 			return false
 		}
@@ -442,6 +443,7 @@ func (fp *Floorplan) PackDieFromDiff(l *Layout, d, from int, dp *DiePacker, pd *
 			}
 			mi := seq[i]
 			w, h := fp.footprint(mi)
+			//lint:floateq prefix-resume compares cached inputs for bit-identity; any drift must invalidate the prefix
 			if dp.mods[o] != mi || dp.dirs[o] != fp.dir[mi] || dp.ws[o] != w || dp.hs[o] != h {
 				break
 			}
@@ -760,11 +762,13 @@ func (s *skyline) place(w, h float64, dir InsertDir) (float64, float64) {
 func better(x, y, bx, by float64, dir InsertDir) bool {
 	switch dir {
 	case LeftmostFirst:
+		//lint:floateq deterministic tie-break: candidates at the exact same coordinate fall through to the secondary key
 		if x != bx {
 			return x < bx
 		}
 		return y < by
 	default: // LowestFirst
+		//lint:floateq deterministic tie-break: candidates at the exact same coordinate fall through to the secondary key
 		if y != by {
 			return y < by
 		}
@@ -815,6 +819,7 @@ func (s *skyline) commit(x, w, newY float64) {
 				s.ys[len(s.ys)-1] = nys[i]
 				continue
 			}
+			//lint:floateq merging only bit-equal neighbour heights is conservative; unequal heights keep their step
 			if nys[i] == lastY {
 				continue
 			}

@@ -154,6 +154,7 @@ func (fp *Floorplan) apply(op Op, rng *rand.Rand) (Move, func(), bool) {
 		// Random walk on the aspect ratio within the module's bounds.
 		f := 0.75 + 0.5*rng.Float64()
 		fp.aspect[mi] = clamp(old*f, m.MinAspect, m.MaxAspect)
+		//lint:floateq clamp-saturation check: equality means clamp returned the stored bound unchanged
 		if fp.aspect[mi] == old {
 			fp.aspect[mi] = clamp(old/f, m.MinAspect, m.MaxAspect)
 		}

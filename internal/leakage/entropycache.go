@@ -101,6 +101,7 @@ func (c *EntropyCache) Update(power *geom.Grid) (entropy float64, patched bool) 
 	// changed set is re-derived here rather than itemized by the caller.
 	changed := c.changedBins[:0]
 	for i, v := range power.Data {
+		//lint:floateq mirror diff: untouched bins are byte-copies of the mirror, so any difference is a real patch
 		if v != c.vals[i] {
 			changed = append(changed, i)
 		}

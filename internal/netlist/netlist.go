@@ -283,7 +283,9 @@ func (d *Design) Validate() error {
 		}
 	}
 	for _, t := range d.Terminals {
+		//lint:floateq input validation: terminal coordinates must sit exactly on the declared outline, both read from the same design
 		onX := t.X == 0 || t.X == d.OutlineW
+		//lint:floateq input validation: terminal coordinates must sit exactly on the declared outline, both read from the same design
 		onY := t.Y == 0 || t.Y == d.OutlineH
 		inX := t.X >= 0 && t.X <= d.OutlineW
 		inY := t.Y >= 0 && t.Y <= d.OutlineH

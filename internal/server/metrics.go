@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"fmt"
 	"net/http"
 	"sort"
@@ -119,39 +120,46 @@ func (m *metrics) observeStage(stage string, d time.Duration) {
 	m.stageSeconds[stage] += d.Seconds()
 }
 
-// handler renders the metrics.
+// handler renders the metrics. The page is assembled in a buffer and sent
+// with one checked Write: streaming Fprintf straight to the
+// ResponseWriter silently dropped client-write failures (the PR 9 bug
+// class tscfpd_write_errors_total exists to count).
 func (m *metrics) handler(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	st := m.storeStats()
+	var buf bytes.Buffer
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	fmt.Fprintf(w, "tscfpd_queue_depth %d\n", m.queueDepth())
-	fmt.Fprintf(w, "tscfpd_store_artifacts %d\n", st.Artifacts)
-	fmt.Fprintf(w, "tscfpd_store_disk_bytes %d\n", st.DiskBytes)
-	fmt.Fprintf(w, "tscfpd_store_cache_bytes %d\n", st.CacheBytes)
-	fmt.Fprintf(w, "tscfpd_store_cache_hits_total %d\n", st.CacheHits)
-	fmt.Fprintf(w, "tscfpd_store_cache_misses_total %d\n", st.CacheMisses)
-	fmt.Fprintf(w, "tscfpd_store_evictions_total %d\n", st.Evictions)
-	fmt.Fprintf(w, "tscfpd_store_quarantined_total %d\n", st.Quarantined)
-	fmt.Fprintf(w, "tscfpd_store_rescanned_total %d\n", st.Rescanned)
-	fmt.Fprintf(w, "tscfpd_jobs_running %d\n", m.running)
-	fmt.Fprintf(w, "tscfpd_jobs_submitted_total %d\n", m.submitted)
-	fmt.Fprintf(w, "tscfpd_jobs_deduped_total %d\n", m.deduped)
-	fmt.Fprintf(w, "tscfpd_jobs_rejected_total %d\n", m.rejected)
-	fmt.Fprintf(w, "tscfpd_jobs_completed_total %d\n", m.completed)
-	fmt.Fprintf(w, "tscfpd_jobs_failed_total %d\n", m.failed)
-	fmt.Fprintf(w, "tscfpd_jobs_cancelled_total %d\n", m.cancelled)
-	fmt.Fprintf(w, "tscfpd_jobs_gced_total %d\n", m.jobsGCed)
-	fmt.Fprintf(w, "tscfpd_sweep_cells_deduped_total %d\n", m.cellsDeduped)
-	fmt.Fprintf(w, "tscfpd_write_errors_total %d\n", m.writeErrors)
+	fmt.Fprintf(&buf, "tscfpd_queue_depth %d\n", m.queueDepth())
+	fmt.Fprintf(&buf, "tscfpd_store_artifacts %d\n", st.Artifacts)
+	fmt.Fprintf(&buf, "tscfpd_store_disk_bytes %d\n", st.DiskBytes)
+	fmt.Fprintf(&buf, "tscfpd_store_cache_bytes %d\n", st.CacheBytes)
+	fmt.Fprintf(&buf, "tscfpd_store_cache_hits_total %d\n", st.CacheHits)
+	fmt.Fprintf(&buf, "tscfpd_store_cache_misses_total %d\n", st.CacheMisses)
+	fmt.Fprintf(&buf, "tscfpd_store_evictions_total %d\n", st.Evictions)
+	fmt.Fprintf(&buf, "tscfpd_store_quarantined_total %d\n", st.Quarantined)
+	fmt.Fprintf(&buf, "tscfpd_store_rescanned_total %d\n", st.Rescanned)
+	fmt.Fprintf(&buf, "tscfpd_jobs_running %d\n", m.running)
+	fmt.Fprintf(&buf, "tscfpd_jobs_submitted_total %d\n", m.submitted)
+	fmt.Fprintf(&buf, "tscfpd_jobs_deduped_total %d\n", m.deduped)
+	fmt.Fprintf(&buf, "tscfpd_jobs_rejected_total %d\n", m.rejected)
+	fmt.Fprintf(&buf, "tscfpd_jobs_completed_total %d\n", m.completed)
+	fmt.Fprintf(&buf, "tscfpd_jobs_failed_total %d\n", m.failed)
+	fmt.Fprintf(&buf, "tscfpd_jobs_cancelled_total %d\n", m.cancelled)
+	fmt.Fprintf(&buf, "tscfpd_jobs_gced_total %d\n", m.jobsGCed)
+	fmt.Fprintf(&buf, "tscfpd_sweep_cells_deduped_total %d\n", m.cellsDeduped)
+	fmt.Fprintf(&buf, "tscfpd_write_errors_total %d\n", m.writeErrors)
 	stages := make([]string, 0, len(m.stageCount))
 	for s := range m.stageCount {
 		stages = append(stages, s)
 	}
 	sort.Strings(stages)
 	for _, s := range stages {
-		fmt.Fprintf(w, "tscfpd_stage_latency_seconds_sum{stage=%q} %g\n", s, m.stageSeconds[s])
-		fmt.Fprintf(w, "tscfpd_stage_latency_seconds_count{stage=%q} %d\n", s, m.stageCount[s])
+		fmt.Fprintf(&buf, "tscfpd_stage_latency_seconds_sum{stage=%q} %g\n", s, m.stageSeconds[s])
+		fmt.Fprintf(&buf, "tscfpd_stage_latency_seconds_count{stage=%q} %d\n", s, m.stageCount[s])
+	}
+	m.mu.Unlock()
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		m.writeError()
 	}
 }
 

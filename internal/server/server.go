@@ -32,6 +32,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sort"
@@ -134,7 +135,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("GET /v1/artifacts/{id}", s.handleArtifact)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
+		if _, err := io.WriteString(w, "ok\n"); err != nil {
+			s.metrics.writeError()
+		}
 	})
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /metrics", s.metrics.handler)
@@ -757,7 +760,9 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 		s.httpError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
-	fmt.Fprintln(w, "ready")
+	if _, err := io.WriteString(w, "ready\n"); err != nil {
+		s.metrics.writeError()
+	}
 }
 
 // ---- helpers ----

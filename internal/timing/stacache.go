@@ -153,6 +153,7 @@ func (c *STACache) scaleEquals(delayScale []float64) bool {
 		return false
 	}
 	for i, s := range c.scale {
+		//lint:floateq SameScale is a keep-alive identity check: the caller passes the same slice values it handed Rebuild
 		if delayScale[i] != s {
 			return false
 		}
@@ -233,6 +234,7 @@ func (c *STACache) Patch(nets []int, netDelay []float64) *Analysis {
 	for _, ni := range nets {
 		old := c.a.NetDelay[ni]
 		nd := netDelay[ni]
+		//lint:floateq no-op patch skip: unchanged delays are copies of the cached value, and skipping them is what keeps Patch O(changed)
 		if nd == old {
 			continue
 		}
@@ -288,6 +290,7 @@ func (c *STACache) Patch(nets []int, netDelay []float64) *Analysis {
 		if newPath > maxNew {
 			maxNew = newPath
 		}
+		//lint:floateq rescan trigger compares the stored critical value against its own copy; bit-equality is exact here
 		if oldPath == c.jCrit && newPath < oldPath {
 			rescan = true
 		}

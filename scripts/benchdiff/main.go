@@ -53,6 +53,7 @@ func compare(w io.Writer, oldRows, newRows map[string]float64, tolerance float64
 		oldNs := oldRows[name]
 		newNs, ok := newRows[name]
 		if !ok {
+			//lint:besteffort diagnostic report to stdout; the exit code carries the verdict
 			fmt.Fprintf(w, "  MISSING  %-60s (in baseline only, skipped)\n", name)
 			continue
 		}
@@ -62,6 +63,7 @@ func compare(w io.Writer, oldRows, newRows map[string]float64, tolerance float64
 			mark = "REGRESSED"
 			regressions++
 		}
+		//lint:besteffort diagnostic report to stdout; the exit code carries the verdict
 		fmt.Fprintf(w, "  %-9s %-60s %12.0f -> %12.0f ns/op (%+.1f%%)\n", mark, name, oldNs, newNs, delta*100)
 	}
 	names = names[:0]
@@ -72,6 +74,7 @@ func compare(w io.Writer, oldRows, newRows map[string]float64, tolerance float64
 	}
 	sort.Strings(names)
 	for _, name := range names {
+		//lint:besteffort diagnostic report to stdout; the exit code carries the verdict
 		fmt.Fprintf(w, "  NEW      %-60s %12.0f ns/op (no baseline, skipped)\n", name, newRows[name])
 	}
 	return regressions

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# The repo's full static gate, run identically by CI's lint job and by hand:
+#
+#   1. gofmt    -- formatting drift anywhere in the tree is an error;
+#   2. go vet   -- the standard suite;
+#   3. tscfplint (cmd/tscfplint) -- the repo's own invariant checkers:
+#      determinism, journalpair, floatcompare, ctxflow, errsink (see
+#      docs/ARCHITECTURE.md "Static analysis"); built from this tree, so
+#      the gate and the code it checks always move together;
+#   4. staticcheck -- pinned to STATICCHECK_VERSION so a floating release
+#      cannot break CI on an unrelated day;
+#   5. govulncheck -- pinned likewise; call-graph-reachable vulns only.
+#
+# Tools 4 and 5 need a module download to install. Locally (no network, or
+# no desire to install) they are skipped with a notice unless the binary is
+# already on PATH at the pinned version; CI sets INSTALL_MISSING=1 to
+# install and therefore hard-require them. Everything built from this repo
+# (1-3) always runs and always gates.
+#
+# Usage:
+#   scripts/lint.sh                    # local: skip missing external tools
+#   INSTALL_MISSING=1 scripts/lint.sh  # CI: install pinned tools, run all
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+STATICCHECK_VERSION="${STATICCHECK_VERSION:-2025.1.1}"
+GOVULNCHECK_VERSION="${GOVULNCHECK_VERSION:-v1.1.4}"
+INSTALL_MISSING="${INSTALL_MISSING:-0}"
+fail=0
+
+echo "== gofmt"
+unformatted="$(gofmt -l . | grep -v '^internal/analyzers/testdata/' || true)"
+if [ -n "$unformatted" ]; then
+  echo "gofmt: needs formatting:" >&2
+  echo "$unformatted" >&2
+  fail=1
+fi
+
+echo "== go vet"
+go vet ./... || fail=1
+
+echo "== tscfplint"
+go run ./cmd/tscfplint ./... || fail=1
+
+# run_external <name> <module@version> <args...>: run a pinned external
+# tool, installing it first under INSTALL_MISSING=1, skipping with a notice
+# when absent locally.
+run_external() {
+  local name="$1" mod="$2"
+  shift 2
+  if [ "$INSTALL_MISSING" = "1" ]; then
+    echo "== installing $mod"
+    go install "$mod"
+  fi
+  if ! command -v "$name" >/dev/null 2>&1; then
+    echo "== $name: not on PATH; skipped (set INSTALL_MISSING=1 to install $mod)"
+    return 0
+  fi
+  echo "== $name"
+  "$name" "$@" || fail=1
+}
+
+run_external staticcheck "honnef.co/go/tools/cmd/staticcheck@${STATICCHECK_VERSION}" ./...
+run_external govulncheck "golang.org/x/vuln/cmd/govulncheck@${GOVULNCHECK_VERSION}" ./...
+
+exit "$fail"
